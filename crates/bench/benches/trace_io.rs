@@ -1,0 +1,61 @@
+//! Criterion microbenches of the trace format: encode/decode throughput
+//! and the simulator that generates figure-scale traces. Keeping trace
+//! I/O cheap is what makes `--trace` usable in lab sessions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ezp_bench::mandel_cost_map;
+use ezp_core::Schedule;
+use ezp_simsched::{simulate_iterations, SimConfig};
+use ezp_trace::io;
+
+fn make_trace(iterations: u32) -> ezp_trace::Trace {
+    let costs = mandel_cost_map(512, 16, 128); // 1024 tiles
+    let sim = simulate_iterations(&costs, SimConfig::new(4, Schedule::Dynamic(2)), iterations);
+    sim.to_trace(&costs, "mandel", "omp_tiled")
+}
+
+fn encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_io");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for iters in [1u32, 8] {
+        let trace = make_trace(iters);
+        let bytes = io::to_bytes(&trace).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encode_tasks", trace.tasks.len()),
+            &trace,
+            |b, t| b.iter(|| std::hint::black_box(io::to_bytes(t).unwrap().len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_tasks", trace.tasks.len()),
+            &bytes,
+            |b, bs| b.iter(|| std::hint::black_box(io::from_bytes(bs).unwrap().tasks.len())),
+        );
+    }
+    group.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simsched");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let costs = mandel_cost_map(1024, 16, 256); // Fig. 6 panel scale
+    for schedule in [Schedule::Static, Schedule::Dynamic(2), Schedule::NonmonotonicDynamic(1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.as_omp_str()),
+            &schedule,
+            |b, &s| {
+                b.iter(|| {
+                    let sim = simulate_iterations(&costs, SimConfig::new(12, s), 1);
+                    std::hint::black_box(sim.makespan_ns)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode_decode, simulator);
+criterion_main!(benches);

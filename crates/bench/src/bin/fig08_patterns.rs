@@ -1,0 +1,74 @@
+//! Fig. 8 — the two dynamic-scheduling patterns on small tiles.
+//!
+//! "Pattern 1 reveals horizontal stripes of the same color together
+//! with a few stripes featuring an alternation of two colors... Pattern
+//! 2 features a quasi-perfect cyclic distribution of colors" — both on
+//! mandel with `schedule(dynamic)` and small tiles. This binary prints
+//! the tiling window and quantifies both patterns.
+
+use ezp_bench::{banner, mandel_cost_map};
+use ezp_core::Schedule;
+use ezp_simsched::{simulate, SimConfig};
+use ezp_view::patterns;
+
+fn main() {
+    banner("Fig. 8", "dynamic scheduling patterns (stripes + cyclic)");
+    let dim = 512;
+    let tile = 16; // small tiles: 32x32 grid
+    let threads = 6;
+    let costs = mandel_cost_map(dim, tile, 1024);
+    println!(
+        "workload: mandel {dim}x{dim}, tiles {tile}x{tile}, {threads} CPUs, schedule(dynamic,1)\n"
+    );
+
+    let sim = simulate(&costs, SimConfig::new(threads, Schedule::Dynamic(1)).overhead(0));
+    let report = sim.to_report(&costs, "mandel", "omp_tiled");
+    let snap = report.tiling_snapshot(1);
+    print!("{}", snap.to_ascii());
+
+    let grid = costs.grid();
+    let owners = snap.owners().to_vec();
+    println!("\n--- Pattern 1: stripes ---");
+    println!(
+        "rows handled by a single thread: {}",
+        patterns::striped_rows(&snap, 1)
+    );
+    println!(
+        "rows handled by at most two threads: {}",
+        patterns::striped_rows(&snap, 2)
+    );
+    println!(
+        "longest same-thread run: {} tiles (grid row = {} tiles)",
+        patterns::max_run_length(&owners),
+        grid.tiles_x()
+    );
+
+    println!("\n--- Pattern 2: cyclic distribution in the uniform-cost area ---");
+    let heavy = (costs.max() as f64 * 0.9) as u64;
+    let heavy_owners: Vec<Option<usize>> = (0..grid.len())
+        .map(|i| {
+            if costs.cost(i) >= heavy {
+                owners[i]
+            } else {
+                None
+            }
+        })
+        .collect();
+    let n_heavy = heavy_owners.iter().flatten().count();
+    println!(
+        "tiles in the heavy (interior) area: {n_heavy}; cyclic score at period {threads}: {:.2}",
+        patterns::cyclic_score(&heavy_owners, threads)
+    );
+    for period in [threads - 1, threads, threads + 1] {
+        println!(
+            "  cyclic score at period {period}: {:.2}{}",
+            patterns::cyclic_score(&heavy_owners, period),
+            if period == threads { "  <= should peak here" } else { "" }
+        );
+    }
+    println!(
+        "\npaper's reading: cheap areas produce long same-color stripes (a few\n\
+         threads race through them while the rest are stuck in the set);\n\
+         equal-cost areas make dynamic degenerate into a round-robin."
+    );
+}

@@ -1,0 +1,88 @@
+//! Fig. 13 — MPI Game of Life in debugging mode.
+//!
+//! "The monitoring windows reveal that each process contains 4 threads
+//! and works on half of the image. Most importantly, since the sparse
+//! dataset consists in planers evolving along the diagonals of the
+//! image, we can check that only tiles located near diagonals are
+//! computed." Reruns that session: 2 ranks x 4 threads, lazy tiles,
+//! diagonal gliders; prints each rank's tiling window and quantifies
+//! the diagonal locality.
+
+use ezp_bench::banner;
+use ezp_core::{Kernel, KernelCtx, RunConfig, TileGrid};
+use ezp_kernels::life::Life;
+
+fn main() {
+    banner("Fig. 13", "life mpi_omp: per-rank monitoring windows");
+    let dim = 512;
+    let tile = 32;
+    let mut cfg = RunConfig::new("life")
+        .variant("mpi_omp")
+        .size(dim)
+        .tile(tile)
+        .iterations(10)
+        .threads(4);
+    cfg.mpi_ranks = 2;
+    cfg.kernel_arg = Some("gliders:64".to_string());
+    cfg.debug_mpi = true;
+    println!(
+        "workload: life {dim}x{dim}, tiles {tile}x{tile}, 2 MPI ranks x 4 threads, sparse diagonal gliders\n"
+    );
+
+    let mut kernel = Life::default();
+    let mut ctx = KernelCtx::new(cfg).unwrap();
+    kernel.init(&mut ctx).unwrap();
+    let live0 = kernel.board().live_count();
+    kernel.compute(&mut ctx, "mpi_omp", 10).unwrap();
+    println!("live cells: {live0} -> {}\n", kernel.board().live_count());
+
+    let grid = TileGrid::square(dim, tile).unwrap();
+    let mut computed_total = 0usize;
+    let mut near_diag_total = 0usize;
+    for (rank, report) in kernel.last_mpi_reports.iter().enumerate() {
+        let it = report.iterations.last().map(|s| s.iteration).unwrap_or(1);
+        let snap = report.tiling_snapshot(it);
+        println!("--- monitoring window of MPI process {rank} (iteration {it}) ---");
+        print!("{}", snap.to_ascii());
+        let halves: (usize, usize) = grid.iter().fold((0, 0), |(top, bot), t| {
+            if snap.owner(t.tx, t.ty).is_some() {
+                if t.ty < grid.tiles_y() / 2 {
+                    (top + 1, bot)
+                } else {
+                    (top, bot + 1)
+                }
+            } else {
+                (top, bot)
+            }
+        });
+        println!(
+            "computed tiles: {} (top half {}, bottom half {})\n",
+            snap.computed_tiles(),
+            halves.0,
+            halves.1
+        );
+        for t in grid.iter() {
+            if snap.owner(t.tx, t.ty).is_some() {
+                computed_total += 1;
+                let main = (t.tx as i64 - t.ty as i64).abs() <= 1;
+                let anti = (t.tx as i64 + t.ty as i64 - grid.tiles_x() as i64 + 1).abs() <= 2;
+                if main || anti {
+                    near_diag_total += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "tiles computed near a diagonal: {near_diag_total}/{computed_total} ({:.0}%)",
+        100.0 * near_diag_total as f64 / computed_total.max(1) as f64
+    );
+    println!(
+        "lazy-evaluation saving: {}/{} tiles skipped per iteration on average",
+        grid.len() * 2 - computed_total,
+        grid.len() * 2
+    );
+    println!(
+        "\npaper's checks: (1) each rank's window only shows activity in its\n\
+         half; (2) activity hugs the diagonals — both visible above."
+    );
+}

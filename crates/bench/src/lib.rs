@@ -1,0 +1,75 @@
+//! # ezp-bench — the figure-regeneration harness
+//!
+//! One binary per figure of the paper's evaluation (there are no
+//! numbered tables): `cargo run --release -p ezp-bench --bin fig06_speedup`
+//! prints the same rows/series the paper reports. The mapping
+//! figure → binary lives in `DESIGN.md`; measured-vs-paper numbers are
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! This library holds the shared workload builders so that every figure
+//! binary uses identical parameters.
+
+#![warn(missing_docs)]
+
+use ezp_core::{Schedule, TileGrid};
+use ezp_kernels::mandel::{self, Viewport};
+use ezp_simsched::CostMap;
+
+/// The thread counts of the paper's Fig. 6 sweep (`range(2, 13, 2)`).
+pub fn paper_thread_counts() -> Vec<usize> {
+    (2..=12).step_by(2).collect()
+}
+
+/// The four scheduling policies of Fig. 4 / Fig. 6.
+pub fn paper_schedules() -> [Schedule; 4] {
+    Schedule::paper_policies()
+}
+
+/// The exact Mandelbrot cost map for `dim`×`dim` pixels with
+/// `tile`×`tile` tiles: per-tile cost = summed escape iterations, the
+/// deterministic stand-in for the paper's measured per-tile times.
+pub fn mandel_cost_map(dim: usize, tile: usize, max_iter: u32) -> CostMap {
+    let view = Viewport::default();
+    let grid = TileGrid::square(dim, tile).expect("valid geometry");
+    CostMap::from_fn(grid, |t| mandel::tile_cost(&view, t, dim, max_iter).max(1))
+}
+
+/// Blur cost map (Fig. 9b): uniform per-pixel cost with heavier border
+/// tiles (`penalty`x, modelling the branchy non-vectorized path).
+pub fn blur_cost_map(dim: usize, tile: usize, penalty: u64) -> CostMap {
+    let grid = TileGrid::square(dim, tile).expect("valid geometry");
+    CostMap::from_fn(grid, |t| ezp_kernels::blur::tile_cost(t, dim, penalty))
+}
+
+/// Standard header printed by every figure binary.
+pub fn banner(fig: &str, what: &str) {
+    println!("================================================================");
+    println!("  {fig} — {what}");
+    println!("  easypap-rs reproduction (virtual-time where noted; see DESIGN.md)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(paper_thread_counts(), vec![2, 4, 6, 8, 10, 12]);
+        assert_eq!(paper_schedules().len(), 4);
+    }
+
+    #[test]
+    fn mandel_cost_map_is_imbalanced() {
+        let m = mandel_cost_map(128, 16, 256);
+        assert_eq!(m.len(), 64);
+        assert!(m.imbalance_cv() > 0.5, "cv = {}", m.imbalance_cv());
+    }
+
+    #[test]
+    fn blur_cost_map_matches_fig9b() {
+        let m = blur_cost_map(64, 16, 10);
+        // corner tile is border: 10x the inner cost
+        assert_eq!(m.cost_at(0, 0), 10 * m.cost_at(1, 1));
+    }
+}

@@ -1,0 +1,22 @@
+//! # ezp-cache — per-task cache statistics (paper §V, future work)
+//!
+//! The paper closes with: "we also intend to further extend the EASYVIEW
+//! trace explorer to integrate per-task cache usage information using
+//! the PAPI library." PAPI reads hardware counters; this environment has
+//! none to read, so the substitution (see DESIGN.md) is a deterministic
+//! cache model: a set-associative LRU [`CacheSim`] and a [`replay`]
+//! module that runs every task of a trace through the model using the
+//! task's tile memory footprint, yielding the per-task hit/miss numbers
+//! EASYVIEW would display.
+//!
+//! The model is intentionally simple (single level, true-LRU) — the
+//! point is the *teaching* signal: tiled traversals reuse lines, row
+//! sweeps of a big image do not, and tile size moves the miss rate.
+
+#![warn(missing_docs)]
+
+pub mod replay;
+pub mod sim;
+
+pub use replay::{replay_trace, AccessPattern, TaskCacheStats};
+pub use sim::{CacheConfig, CacheSim, CacheStats};

@@ -1,0 +1,12 @@
+//! The `easypap` command-line entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match easypap_cli::run_easypap(args.iter().map(String::as_str)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("easypap: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The `easyplot` command-line entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match easypap_cli::run_easyplot(args.iter().map(String::as_str)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("easyplot: {e}");
+            std::process::exit(1);
+        }
+    }
+}

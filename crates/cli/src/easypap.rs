@@ -1,0 +1,384 @@
+//! The `easypap` command: run a kernel variant under the framework.
+
+use ezp_core::kernel::{MultiProbe, NullProbe, Probe};
+use ezp_core::params::DisplayMode;
+use ezp_core::perf::run_kernel;
+use ezp_core::{Result, RunConfig};
+use ezp_kernels::life::Life;
+use ezp_kernels::registry;
+use ezp_monitor::{activity, Monitor};
+use ezp_trace::{Trace, TraceMeta};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Default CSV file of the performance mode.
+pub const PERF_CSV: &str = "easypap.csv";
+
+/// Runs `easypap` with the given arguments (program name excluded) and
+/// returns the console output.
+pub fn run_easypap<I, S>(args: I) -> Result<String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    // `easypap --list`: enumerate kernels and variants, like the original
+    // framework's discovery of `<kernel>_compute_<variant>` symbols
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        let reg = registry();
+        let mut out = String::from("available kernels:\n");
+        for name in reg.kernel_names() {
+            let k = reg.create(name)?;
+            out.push_str(&format!("  {name:<12} variants: {}\n", k.variants().join(", ")));
+        }
+        return Ok(out);
+    }
+    let cfg = RunConfig::parse_args(args.iter().map(String::as_str))?;
+    let mut out = String::new();
+
+    // Fig. 13 special case: MPI debugging shows every rank's windows;
+    // the per-rank reports live on the concrete Life kernel.
+    if cfg.kernel == "life" && cfg.variant == "mpi_omp" && cfg.debug_mpi {
+        return run_life_mpi_debug(cfg);
+    }
+
+    let reg = registry();
+    // assemble the probe stack: monitoring and/or tracing both feed off
+    // a Monitor (the trace is the harvested report)
+    let monitor = if cfg.display == DisplayMode::Monitoring || cfg.trace {
+        Some(Arc::new(Monitor::new(cfg.threads, cfg.grid()?)))
+    } else {
+        None
+    };
+    let probe: Arc<dyn Probe> = match &monitor {
+        Some(m) => Arc::new(MultiProbe::new(vec![m.clone() as Arc<dyn Probe>])),
+        None => Arc::new(NullProbe),
+    };
+
+    // `--frames DIR` replaces the animated window: run iteration by
+    // iteration and dump each frame
+    if let Some(frames_dir) = cfg.frames_dir.clone() {
+        return run_with_frames(&reg, cfg, probe, &frames_dir);
+    }
+
+    let (outcome, ctx) = run_kernel(&reg, cfg.clone(), probe)?;
+    writeln!(out, "{}", outcome.summary()).unwrap();
+
+    if cfg.display == DisplayMode::None {
+        outcome.append_csv(PERF_CSV, 0)?;
+        writeln!(out, "result appended to {PERF_CSV}").unwrap();
+    } else {
+        // no SDL window in this reproduction: dump the final frame
+        let frame = format!("{}-{}.ppm", cfg.kernel, cfg.variant);
+        std::fs::write(&frame, ctx.images.cur().to_ppm())?;
+        writeln!(out, "final frame written to {frame}").unwrap();
+    }
+    if cfg.ansi {
+        out.push_str(&ezp_render::ansi::to_ansi(&ezp_render::downscale(
+            ctx.images.cur(),
+            cfg.dim.min(64),
+            cfg.dim.min(64),
+        )));
+    }
+
+    if let Some(monitor) = &monitor {
+        let report = monitor.report();
+        if cfg.display == DisplayMode::Monitoring {
+            writeln!(out, "\n=== Activity Monitor ===").unwrap();
+            out.push_str(&activity::render_report(&report));
+            if let Some(last) = report.iterations.last() {
+                writeln!(out, "\n=== Tiling window (iteration {}) ===", last.iteration).unwrap();
+                out.push_str(&report.tiling_snapshot(last.iteration).to_ascii());
+                writeln!(out, "\n=== Heat map (iteration {}) ===", last.iteration).unwrap();
+                out.push_str(&report.heat_map(last.iteration).to_ascii());
+            }
+        }
+        if cfg.trace {
+            let trace = Trace::from_report(TraceMeta::from_config(&cfg), &report);
+            ezp_trace::io::save(&trace, &cfg.trace_file)?;
+            writeln!(
+                out,
+                "trace ({} tasks, {} iterations) written to {}",
+                trace.tasks.len(),
+                trace.iteration_count(),
+                cfg.trace_file
+            )
+            .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// `--frames DIR`: the animated-window replacement. The kernel runs one
+/// iteration at a time, refreshing and dumping a frame after each, so
+/// the directory ends up holding the same "series of images computed at
+/// each iteration" the SDL window would have shown.
+fn run_with_frames(
+    reg: &ezp_core::Registry,
+    cfg: RunConfig,
+    probe: Arc<dyn Probe>,
+    frames_dir: &str,
+) -> Result<String> {
+    use ezp_core::KernelCtx;
+    use ezp_render::anim::{FrameFormat, FrameSink};
+    let mut out = String::new();
+    let mut kernel = reg.create_variant(&cfg.kernel, &cfg.variant)?;
+    let variant = cfg.variant.clone();
+    let iterations = cfg.iterations;
+    let mut ctx = KernelCtx::new(cfg.clone())?.with_probe(probe);
+    kernel.init(&mut ctx)?;
+    let mut sink = FrameSink::new(frames_dir, FrameFormat::Ppm, 1)?;
+    kernel.refresh_image(&mut ctx)?;
+    sink.present(ctx.images.cur())?; // initial state
+    let sw = ezp_core::time::Stopwatch::start();
+    let mut completed = iterations;
+    for it in 1..=iterations {
+        let converged = kernel.compute(&mut ctx, &variant, 1)?;
+        kernel.refresh_image(&mut ctx)?;
+        sink.present(ctx.images.cur())?;
+        if converged.is_some() {
+            completed = it;
+            break;
+        }
+    }
+    writeln!(out, "{completed} iterations completed in {} ms", sw.elapsed_ms()).unwrap();
+    writeln!(
+        out,
+        "{} frames written to {frames_dir}/",
+        sink.frames().len()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `easypap --kernel life --variant mpi_omp --mpirun "-np N" --debug M`:
+/// run the MPI Game of Life and show the monitoring windows of every
+/// rank (Fig. 13).
+fn run_life_mpi_debug(cfg: RunConfig) -> Result<String> {
+    use ezp_core::{Kernel, KernelCtx};
+    let mut out = String::new();
+    let mut kernel = Life::default();
+    let iterations = cfg.iterations;
+    let variant = cfg.variant.clone();
+    let mut ctx = KernelCtx::new(cfg.clone())?;
+    kernel.init(&mut ctx)?;
+    let sw = ezp_core::time::Stopwatch::start();
+    let converged = kernel.compute(&mut ctx, &variant, iterations)?;
+    let done = converged.unwrap_or(iterations);
+    writeln!(out, "{done} iterations completed in {} ms", sw.elapsed_ms()).unwrap();
+    kernel.refresh_image(&mut ctx)?;
+    for (rank, report) in kernel.last_mpi_reports.iter().enumerate() {
+        writeln!(out, "\n=== Monitoring window of MPI process {rank} ===").unwrap();
+        if let Some(last) = report.iterations.last() {
+            out.push_str(&report.tiling_snapshot(last.iteration).to_ascii());
+        }
+        out.push_str(&activity::render_idleness_history(report));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the CLI writes artifacts into the cwd; tests must not change it
+    // concurrently, so all cwd-touching tests share one lock
+    static CWD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn in_tmp_dir<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = CWD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!(
+            "ezp_cli_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let r = f();
+        std::env::set_current_dir(old).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        r
+    }
+
+    #[test]
+    fn list_shows_all_kernels_and_variants() {
+        let out = run_easypap(["--list"]).unwrap();
+        for k in ["mandel", "blur", "life", "ccomp", "sandpile", "heat", "spin"] {
+            assert!(out.contains(k), "missing kernel {k} in --list");
+        }
+        assert!(out.contains("omp_tiled"));
+        assert!(out.contains("mpi_omp"));
+        assert!(out.contains("taskdep"));
+    }
+
+    #[test]
+    fn performance_mode_prints_paper_line_and_appends_csv() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "mandel",
+                "--variant",
+                "omp_tiled",
+                "--size",
+                "64",
+                "--tile-size",
+                "16",
+                "--iterations",
+                "2",
+                "--threads",
+                "2",
+                "--no-display",
+            ])
+            .unwrap();
+            assert!(out.contains("2 iterations completed in"));
+            assert!(out.contains("ms"));
+            assert!(std::path::Path::new(PERF_CSV).exists());
+        });
+    }
+
+    #[test]
+    fn display_mode_dumps_a_frame() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "invert", "--variant", "seq", "--size", "32", "--tile-size", "8",
+            ])
+            .unwrap();
+            assert!(out.contains("invert-seq.ppm"));
+            let ppm = std::fs::read("invert-seq.ppm").unwrap();
+            assert!(ppm.starts_with(b"P6\n32 32\n255\n"));
+        });
+    }
+
+    #[test]
+    fn monitoring_mode_prints_windows() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "mandel",
+                "--variant",
+                "omp_tiled",
+                "--size",
+                "64",
+                "--tile-size",
+                "16",
+                "--iterations",
+                "1",
+                "--threads",
+                "2",
+                "--monitoring",
+            ])
+            .unwrap();
+            assert!(out.contains("Activity Monitor"));
+            assert!(out.contains("Tiling window"));
+            assert!(out.contains("Heat map"));
+            assert!(out.contains("CPU  0"));
+        });
+    }
+
+    #[test]
+    fn trace_mode_writes_a_loadable_trace() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "blur",
+                "--variant",
+                "omp_tiled",
+                "--size",
+                "32",
+                "--tile-size",
+                "8",
+                "--iterations",
+                "2",
+                "--threads",
+                "2",
+                "--trace",
+                "--no-display",
+            ])
+            .unwrap();
+            assert!(out.contains("trace ("));
+            let trace = ezp_trace::io::load("trace.ezv").unwrap();
+            assert_eq!(trace.meta.kernel, "blur");
+            assert_eq!(trace.iteration_count(), 2);
+            assert_eq!(trace.tasks.len(), 2 * 16);
+        });
+    }
+
+    #[test]
+    fn mpi_debug_mode_shows_per_rank_windows() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "life",
+                "--variant",
+                "mpi_omp",
+                "--size",
+                "64",
+                "--tile-size",
+                "16",
+                "--iterations",
+                "3",
+                "--threads",
+                "2",
+                "--mpirun",
+                "-np 2",
+                "--monitoring",
+                "--debug",
+                "M",
+            ])
+            .unwrap();
+            assert!(out.contains("MPI process 0"));
+            assert!(out.contains("MPI process 1"));
+        });
+    }
+
+    #[test]
+    fn frames_mode_dumps_per_iteration_images() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "scrollup", "--variant", "seq", "--size", "16", "--tile-size", "8",
+                "--iterations", "3", "--frames", "anim",
+            ])
+            .unwrap();
+            assert!(out.contains("3 iterations completed"));
+            assert!(out.contains("4 frames written")); // initial + 3
+            for i in 1..=4 {
+                let f = format!("anim/frame-{i:04}.ppm");
+                assert!(std::path::Path::new(&f).exists(), "missing {f}");
+            }
+        });
+    }
+
+    #[test]
+    fn frames_mode_stops_at_convergence() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "life", "--variant", "seq", "--size", "16", "--tile-size", "8",
+                "--iterations", "10", "--frames", "anim", "--arg", "block",
+            ])
+            .unwrap();
+            assert!(out.contains("1 iterations completed"));
+            assert!(out.contains("2 frames written"));
+        });
+    }
+
+    #[test]
+    fn ansi_preview_is_emitted() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "spin", "--variant", "seq", "--size", "32", "--tile-size", "8",
+                "--ansi",
+            ])
+            .unwrap();
+            assert!(out.contains("\u{2580}"), "half-block glyphs expected");
+            assert!(out.contains("\x1b[38;2;"));
+        });
+    }
+
+    #[test]
+    fn bad_arguments_error_cleanly() {
+        assert!(run_easypap(["--bogus"]).is_err());
+        assert!(run_easypap(["--kernel", "unknown-kernel", "--no-display"]).is_err());
+        assert!(run_easypap(["--kernel", "mandel", "--variant", "nope", "--no-display"]).is_err());
+    }
+}

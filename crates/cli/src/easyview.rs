@@ -1,0 +1,345 @@
+//! The `easyview` command: post-mortem trace exploration (§II-D).
+//!
+//! ```text
+//! easyview trace.ezv                        # Gantt chart, all iterations
+//! easyview trace.ezv --iter 7:9             # restrict the range
+//! easyview trace.ezv --cpu 3                # coverage map of CPU 3
+//! easyview trace.ezv --at 1234567           # tasks crossing a timestamp
+//! easyview a.ezv --compare b.ezv            # two-trace comparison
+//! easyview trace.ezv --svg gantt.svg        # export the Gantt as SVG
+//! ```
+
+use ezp_core::error::{Error, Result};
+use ezp_view::{CoverageMap, GanttModel, TraceComparison};
+use std::fmt::Write as _;
+
+/// Parsed `easyview` invocation.
+struct ViewArgs {
+    trace_path: String,
+    iter_range: Option<(u32, u32)>,
+    cpu: Option<usize>,
+    at: Option<u64>,
+    compare: Option<String>,
+    svg: Option<String>,
+    /// `--highlight out.ppm`: render the tiles under the mouse (at
+    /// `--at T`, or mid-span) over a thumbnail, like Fig. 7's right pane.
+    highlight: Option<String>,
+    width: usize,
+}
+
+fn parse_args<I, S>(args: I) -> Result<ViewArgs>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = ViewArgs {
+        trace_path: String::new(),
+        iter_range: None,
+        cpu: None,
+        at: None,
+        compare: None,
+        svg: None,
+        highlight: None,
+        width: 100,
+    };
+    let mut it = args.into_iter();
+    let need = |v: Option<S>, opt: &str| -> Result<String> {
+        v.map(|s| s.as_ref().to_string())
+            .ok_or_else(|| Error::Config(format!("option {opt} requires a value")))
+    };
+    while let Some(arg) = it.next() {
+        let arg = arg.as_ref();
+        match arg {
+            "--iter" => {
+                let spec = need(it.next(), arg)?;
+                let (lo, hi) = spec
+                    .split_once(':')
+                    .ok_or_else(|| Error::Config(format!("--iter wants lo:hi, got `{spec}`")))?;
+                let lo = lo.parse().map_err(|_| Error::Config(format!("bad iteration `{lo}`")))?;
+                let hi = hi.parse().map_err(|_| Error::Config(format!("bad iteration `{hi}`")))?;
+                out.iter_range = Some((lo, hi));
+            }
+            "--cpu" => {
+                out.cpu = Some(
+                    need(it.next(), arg)?
+                        .parse()
+                        .map_err(|_| Error::Config("bad cpu rank".into()))?,
+                )
+            }
+            "--at" => {
+                out.at = Some(
+                    need(it.next(), arg)?
+                        .parse()
+                        .map_err(|_| Error::Config("bad timestamp".into()))?,
+                )
+            }
+            "--compare" => out.compare = Some(need(it.next(), arg)?),
+            "--svg" => out.svg = Some(need(it.next(), arg)?),
+            "--highlight" => out.highlight = Some(need(it.next(), arg)?),
+            "--width" => {
+                out.width = need(it.next(), arg)?
+                    .parse()
+                    .map_err(|_| Error::Config("bad width".into()))?
+            }
+            other if !other.starts_with('-') && out.trace_path.is_empty() => {
+                out.trace_path = other.to_string();
+            }
+            other => return Err(Error::Config(format!("unknown option `{other}`"))),
+        }
+    }
+    if out.trace_path.is_empty() {
+        return Err(Error::Config("usage: easyview <trace.ezv> [options]".into()));
+    }
+    Ok(out)
+}
+
+/// Runs `easyview` and returns the console output.
+pub fn run_easyview<I, S>(args: I) -> Result<String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args = parse_args(args)?;
+    let trace = ezp_trace::io::load(&args.trace_path)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "trace: {} ({} iterations, {} tasks, {} CPUs, schedule {})",
+        trace.meta.label,
+        trace.iteration_count(),
+        trace.tasks.len(),
+        trace.meta.threads,
+        trace.meta.schedule
+    )
+    .unwrap();
+
+    if let Some(other_path) = &args.compare {
+        let other = ezp_trace::io::load(other_path)?;
+        let cmp = TraceComparison::new(&trace, &other)?;
+        writeln!(out, "\n=== Trace comparison ===").unwrap();
+        writeln!(out, "{}", cmp.summary()).unwrap();
+        for (it, base, opt) in cmp.per_iteration() {
+            writeln!(
+                out,
+                "  iteration {it}: {} -> {} (x{:.2})",
+                ezp_core::time::format_duration_ns(base),
+                ezp_core::time::format_duration_ns(opt),
+                base as f64 / opt.max(1) as f64
+            )
+            .unwrap();
+        }
+        let fast = cmp.tasks_faster_than(5.0);
+        writeln!(out, "  {} tasks at least 5x faster", fast.len()).unwrap();
+        return Ok(out);
+    }
+
+    let (lo, hi) = args.iter_range.unwrap_or_else(|| {
+        let lo = trace.iterations.first().map(|s| s.iteration).unwrap_or(1);
+        let hi = trace.iterations.last().map(|s| s.iteration).unwrap_or(1);
+        (lo, hi)
+    });
+    let gantt = GanttModel::new(&trace, lo, hi);
+
+    if args.at.is_some() || args.highlight.is_some() {
+        let t = args
+            .at
+            .unwrap_or_else(|| gantt.t0 + (gantt.t1.saturating_sub(gantt.t0)) / 2);
+        writeln!(out, "\n=== Tasks crossing t={t} (vertical mouse mode) ===").unwrap();
+        let crossing = gantt.tasks_at_time(t);
+        for task in &crossing {
+            writeln!(out, "  {}", GanttModel::bubble(task)).unwrap();
+        }
+        if let Some(path) = &args.highlight {
+            // Fig. 7's right pane: highlighted tiles over a thumbnail of
+            // the computed surface (a neutral grid stands in for the
+            // image, which the trace does not store)
+            let grid = trace.meta.grid()?;
+            let mut thumb = ezp_core::Img2D::filled(
+                128,
+                128,
+                ezp_core::Rgba::new(60, 60, 60, 255),
+            );
+            let tiles: Vec<ezp_core::Tile> = crossing
+                .iter()
+                .map(|r| grid.tile_of_pixel(r.x.min(grid.width() - 1), r.y.min(grid.height() - 1)))
+                .collect();
+            ezp_render::highlight_tiles(&mut thumb, trace.meta.dim, &tiles, ezp_core::Rgba::YELLOW);
+            std::fs::write(path, thumb.to_ppm())?;
+            writeln!(out, "highlight thumbnail -> {path}").unwrap();
+        }
+        return Ok(out);
+    }
+
+    if let Some(cpu) = args.cpu {
+        writeln!(out, "\n=== Coverage map of CPU {cpu}, iterations {lo}..{hi} ===").unwrap();
+        let cov = CoverageMap::new(&trace, cpu, lo, hi)?;
+        out.push_str(&cov.to_ascii());
+        writeln!(
+            out,
+            "covered {} tiles, locality {:.3}",
+            cov.covered_tiles(),
+            cov.locality()
+        )
+        .unwrap();
+        return Ok(out);
+    }
+
+    writeln!(out, "\n=== Task statistics ===").unwrap();
+    out.push_str(&ezp_view::stats::render(&trace));
+    writeln!(out, "\n=== Gantt chart, iterations {lo}..{hi} ===").unwrap();
+    out.push_str(&gantt.to_ascii(args.width));
+    if let Some(svg_path) = &args.svg {
+        std::fs::write(svg_path, gantt.to_svg(1000.0, 24.0))?;
+        writeln!(out, "SVG written to {svg_path}").unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezp_monitor::report::IterationSpan;
+    use ezp_monitor::TileRecord;
+    use ezp_trace::{Trace, TraceMeta};
+
+    fn sample_trace_file(name: &str) -> std::path::PathBuf {
+        let mk = |it: u32, x: usize, s: u64, e: u64, w: usize| TileRecord {
+            iteration: it,
+            x,
+            y: 0,
+            w: 16,
+            h: 16,
+            start_ns: s,
+            end_ns: e,
+            worker: w,
+        };
+        let trace = Trace {
+            meta: TraceMeta {
+                kernel: "mandel".into(),
+                variant: "omp".into(),
+                dim: 64,
+                tile_size: 16,
+                threads: 2,
+                schedule: "dynamic".into(),
+                label: format!("mandel/{name}"),
+            },
+            iterations: vec![
+                IterationSpan {
+                    iteration: 1,
+                    start_ns: 0,
+                    end_ns: 100,
+                },
+                IterationSpan {
+                    iteration: 2,
+                    start_ns: 100,
+                    end_ns: 200,
+                },
+            ],
+            tasks: vec![
+                mk(1, 0, 0, 50, 0),
+                mk(1, 16, 0, 80, 1),
+                mk(2, 32, 100, 150, 0),
+                mk(2, 48, 100, 190, 1),
+            ],
+        };
+        let path = std::env::temp_dir().join(format!(
+            "ezp_view_cli_{}_{}_{name}.ezv",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "_")
+        ));
+        ezp_trace::io::save(&trace, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn gantt_output() {
+        let path = sample_trace_file("gantt");
+        let out = run_easyview([path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("Gantt chart, iterations 1..2"));
+        assert!(out.contains("Task statistics"));
+        assert!(out.contains("tasks: 4"));
+        assert!(out.contains("CPU  0"));
+        assert!(out.contains("CPU  1"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn iteration_range_and_at() {
+        let path = sample_trace_file("at");
+        let out =
+            run_easyview([path.to_str().unwrap(), "--iter", "1:1", "--at", "25"]).unwrap();
+        assert!(out.contains("Tasks crossing t=25"));
+        assert!(out.contains("CPU 0"));
+        assert!(out.contains("CPU 1"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn coverage_mode() {
+        let path = sample_trace_file("cov");
+        let out = run_easyview([path.to_str().unwrap(), "--cpu", "0"]).unwrap();
+        assert!(out.contains("Coverage map of CPU 0"));
+        assert!(out.contains("covered 2 tiles"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn compare_mode() {
+        let a = sample_trace_file("cmp_a");
+        let b = sample_trace_file("cmp_b");
+        let out =
+            run_easyview([a.to_str().unwrap(), "--compare", b.to_str().unwrap()]).unwrap();
+        assert!(out.contains("Trace comparison"));
+        assert!(out.contains("iteration 1"));
+        std::fs::remove_file(a).unwrap();
+        std::fs::remove_file(b).unwrap();
+    }
+
+    #[test]
+    fn svg_export() {
+        let path = sample_trace_file("svg");
+        let svg_path = std::env::temp_dir().join(format!("ezp_view_{}.svg", std::process::id()));
+        let out = run_easyview([
+            path.to_str().unwrap(),
+            "--svg",
+            svg_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("SVG written"));
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(svg_path).unwrap();
+    }
+
+    #[test]
+    fn highlight_mode_writes_thumbnail() {
+        let path = sample_trace_file("hl");
+        let thumb = std::env::temp_dir().join(format!("ezp_view_hl_{}.ppm", std::process::id()));
+        let out = run_easyview([
+            path.to_str().unwrap(),
+            "--at",
+            "25",
+            "--highlight",
+            thumb.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("highlight thumbnail"));
+        let bytes = std::fs::read(&thumb).unwrap();
+        assert!(bytes.starts_with(b"P6\n128 128\n"));
+        // some pixels must be highlighted (yellow-ish, not all gray)
+        assert!(bytes[15..].chunks(3).any(|c| c[0] > 200 && c[1] > 200 && c[2] < 100));
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(thumb).unwrap();
+    }
+
+    #[test]
+    fn errors() {
+        assert!(run_easyview(Vec::<&str>::new()).is_err()); // no trace
+        assert!(run_easyview(["/nonexistent.ezv"]).is_err());
+        let path = sample_trace_file("err");
+        assert!(run_easyview([path.to_str().unwrap(), "--iter", "abc"]).is_err());
+        assert!(run_easyview([path.to_str().unwrap(), "--bogus"]).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! # easypap-cli — the `easypap`, `easyview` and `easyplot` commands
+//!
+//! These are the front doors the paper's students use:
+//!
+//! ```text
+//! easypap --kernel mandel --variant omp_tiled --tile-size 16 \
+//!         --iterations 50 --no-display
+//! 50 iterations completed in 579 ms
+//! ```
+//!
+//! The library half of this crate implements the three commands as pure
+//! functions from argument vectors to output text, so the whole CLI
+//! surface is unit-testable; the `src/bin/*.rs` wrappers only print.
+
+#![warn(missing_docs)]
+
+pub mod easypap;
+pub mod easyplot;
+pub mod easyview;
+
+pub use easypap::run_easypap;
+pub use easyplot::run_easyplot;
+pub use easyview::run_easyview;

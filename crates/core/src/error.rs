@@ -1,0 +1,95 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout `ezp-*` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the framework.
+#[derive(Debug)]
+pub enum Error {
+    /// Command-line / configuration problem (unknown option, bad value...).
+    Config(String),
+    /// A `(kernel, variant)` pair that is not registered.
+    UnknownKernel {
+        /// The requested kernel name.
+        kernel: String,
+        /// The requested variant name (`*` when the kernel itself is unknown).
+        variant: String,
+    },
+    /// Geometry problem: tile size or dimensions are invalid.
+    Geometry(String),
+    /// Trace file is corrupt, truncated or has an unsupported version.
+    TraceFormat(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A worker thread panicked during a parallel section.
+    WorkerPanic(String),
+    /// MPI-simulation failure (rank out of range, type mismatch...).
+    Mpi(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::UnknownKernel { kernel, variant } => {
+                write!(f, "no variant `{variant}` registered for kernel `{kernel}`")
+            }
+            Error::Geometry(msg) => write!(f, "geometry error: {msg}"),
+            Error::TraceFormat(msg) => write!(f, "trace format error: {msg}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            Error::Mpi(msg) => write!(f, "MPI simulation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::UnknownKernel {
+            kernel: "mandel".into(),
+            variant: "omp".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mandel") && s.contains("omp"));
+
+        assert!(Error::Config("bad".into()).to_string().contains("bad"));
+        assert!(Error::Geometry("g".into()).to_string().contains("g"));
+        assert!(Error::TraceFormat("t".into()).to_string().contains("t"));
+        assert!(Error::Mpi("rank".into()).to_string().contains("rank"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = Error::Config("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! The kernel abstraction: computations over 2D images, organized in
+//! variants, with monitoring hooks.
+//!
+//! In EASYPAP "functions performing computations on images are called
+//! kernels" and every kernel comes in several *variants* (`seq`, `omp`,
+//! `omp_tiled`, `mpi_omp`...) that students compare against each other
+//! (§II-A). A [`Kernel`] owns whatever state the computation needs
+//! (possibly "their own, low memory footprint data structures", §III-D)
+//! and exposes its variants by name; [`KernelCtx`] carries the image
+//! pair, the tile grid and the instrumentation probe.
+
+use crate::error::Result;
+use crate::grid::TileGrid;
+use crate::img::ImagePair;
+use crate::params::RunConfig;
+use crate::WorkerId;
+use std::sync::Arc;
+
+/// Instrumentation hooks — the Rust face of the paper's
+/// `monitoring_start_tile` / `monitoring_end_tile` calls (§II-B).
+///
+/// Implementations (the live monitor, the tracer, composites) are free to
+/// record timestamps, update per-CPU activity, or do nothing at all
+/// ([`NullProbe`]). Methods take `&self` because they are invoked
+/// concurrently from worker threads; implementations use interior
+/// mutability with per-worker slots.
+pub trait Probe: Send + Sync {
+    /// A new iteration begins.
+    fn iteration_start(&self, _iteration: u32) {}
+    /// The current iteration is complete.
+    fn iteration_end(&self, _iteration: u32) {}
+    /// Worker `worker` starts computing a tile (timestamp taken here).
+    fn start_tile(&self, _worker: WorkerId) {}
+    /// Worker `worker` finished the tile with the given pixel rectangle.
+    fn end_tile(&self, _x: usize, _y: usize, _w: usize, _h: usize, _worker: WorkerId) {}
+}
+
+/// A probe that records nothing — used by the performance mode, where
+/// "we need to completely eliminate the overhead of graphical updates".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Broadcasts every event to several probes (e.g. live monitoring *and*
+/// trace recording in the same run).
+pub struct MultiProbe {
+    probes: Vec<Arc<dyn Probe>>,
+}
+
+impl MultiProbe {
+    /// Builds a composite over `probes`.
+    pub fn new(probes: Vec<Arc<dyn Probe>>) -> Self {
+        MultiProbe { probes }
+    }
+}
+
+impl Probe for MultiProbe {
+    fn iteration_start(&self, iteration: u32) {
+        for p in &self.probes {
+            p.iteration_start(iteration);
+        }
+    }
+    fn iteration_end(&self, iteration: u32) {
+        for p in &self.probes {
+            p.iteration_end(iteration);
+        }
+    }
+    fn start_tile(&self, worker: WorkerId) {
+        for p in &self.probes {
+            p.start_tile(worker);
+        }
+    }
+    fn end_tile(&self, x: usize, y: usize, w: usize, h: usize, worker: WorkerId) {
+        for p in &self.probes {
+            p.end_tile(x, y, w, h, worker);
+        }
+    }
+}
+
+/// Everything a kernel variant needs at run time.
+pub struct KernelCtx {
+    /// The parsed command line.
+    pub cfg: RunConfig,
+    /// Tile decomposition implied by `--size` / `--tile-size`.
+    pub grid: TileGrid,
+    /// Current/next image pair.
+    pub images: ImagePair,
+    /// Instrumentation sink (never null — use [`NullProbe`]).
+    pub probe: Arc<dyn Probe>,
+}
+
+impl KernelCtx {
+    /// Builds a context from a validated configuration with a no-op probe.
+    pub fn new(cfg: RunConfig) -> Result<Self> {
+        let grid = cfg.grid()?;
+        let images = ImagePair::square(cfg.dim);
+        Ok(KernelCtx {
+            cfg,
+            grid,
+            images,
+            probe: Arc::new(NullProbe),
+        })
+    }
+
+    /// Replaces the probe (builder style).
+    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Image dimension (`DIM`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Worker count for parallel variants.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+}
+
+/// A 2D computation kernel with named variants.
+///
+/// `compute` runs `nb_iter` iterations of the requested variant in a row
+/// (EASYPAP hands the whole iteration budget to the variant, which owns
+/// the outer loop — see Fig. 1). The return value is `Some(it)` when the
+/// computation reached a steady state at iteration `it < nb_iter`
+/// (EASYPAP's early-termination convention, used by `ccomp` and lazy
+/// `life`), `None` when all iterations were executed.
+pub trait Kernel: Send {
+    /// Kernel name as used by `--kernel`.
+    fn name(&self) -> &'static str;
+
+    /// Variant names accepted by `--variant`, for error messages and
+    /// discovery (`easypap --kernel k --variant list` in the original).
+    fn variants(&self) -> Vec<&'static str>;
+
+    /// One-time initialization: fill the initial image, allocate kernel
+    /// state. Called once before the first `compute`.
+    fn init(&mut self, ctx: &mut KernelCtx) -> Result<()>;
+
+    /// Runs `nb_iter` iterations of `variant`.
+    fn compute(&mut self, ctx: &mut KernelCtx, variant: &str, nb_iter: u32) -> Result<Option<u32>>;
+
+    /// For kernels computing in their own data structures: repaint
+    /// `ctx.images` from that state ("such kernels simply have to update
+    /// the current image when a graphical refresh is needed", §III-D).
+    fn refresh_image(&mut self, _ctx: &mut KernelCtx) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Default)]
+    struct CountingProbe {
+        starts: AtomicUsize,
+        ends: AtomicUsize,
+        iters: AtomicUsize,
+    }
+
+    impl Probe for CountingProbe {
+        fn iteration_start(&self, _: u32) {
+            self.iters.fetch_add(1, Ordering::Relaxed);
+        }
+        fn start_tile(&self, _: WorkerId) {
+            self.starts.fetch_add(1, Ordering::Relaxed);
+        }
+        fn end_tile(&self, _: usize, _: usize, _: usize, _: usize, _: WorkerId) {
+            self.ends.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn ctx_from_config() {
+        let cfg = RunConfig::new("mandel").size(64).tile(16);
+        let ctx = KernelCtx::new(cfg).unwrap();
+        assert_eq!(ctx.dim(), 64);
+        assert_eq!(ctx.grid.len(), 16);
+        assert_eq!(ctx.images.dim(), 64);
+    }
+
+    #[test]
+    fn null_probe_is_silent() {
+        let p = NullProbe;
+        p.iteration_start(0);
+        p.start_tile(3);
+        p.end_tile(0, 0, 4, 4, 3);
+        p.iteration_end(0);
+    }
+
+    #[test]
+    fn multi_probe_fans_out() {
+        let a = Arc::new(CountingProbe::default());
+        let b = Arc::new(CountingProbe::default());
+        let multi = MultiProbe::new(vec![a.clone(), b.clone()]);
+        multi.iteration_start(1);
+        multi.start_tile(0);
+        multi.end_tile(0, 0, 1, 1, 0);
+        multi.iteration_end(1);
+        for p in [&a, &b] {
+            assert_eq!(p.iters.load(Ordering::Relaxed), 1);
+            assert_eq!(p.starts.load(Ordering::Relaxed), 1);
+            assert_eq!(p.ends.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn with_probe_replaces_sink() {
+        let cfg = RunConfig::new("mandel").size(32).tile(8);
+        let probe = Arc::new(CountingProbe::default());
+        let ctx = KernelCtx::new(cfg).unwrap().with_probe(probe.clone());
+        ctx.probe.start_tile(0);
+        assert_eq!(probe.starts.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,473 @@
+//! Run-time configuration: the `easypap` command line and OpenMP-style
+//! scheduling policies.
+//!
+//! The paper drives every experiment through command lines such as
+//! `easypap --kernel mandel --variant omp_tiled --tile-size 16
+//! --iterations 50 --no-display` plus the `OMP_NUM_THREADS` /
+//! `OMP_SCHEDULE` internal control variables. [`RunConfig`] is the parsed
+//! form of all of that, and [`Schedule`] is the loop-scheduling policy
+//! vocabulary shared by the real thread pool (`ezp-sched`) and the
+//! virtual-time simulator (`ezp-simsched`).
+
+use crate::error::{Error, Result};
+use crate::{DEFAULT_DIM, DEFAULT_TILE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// An OpenMP-style loop scheduling policy (paper Fig. 4).
+///
+/// The chunk parameter follows OpenMP semantics: for `Dynamic(k)` idle
+/// threads grab `k` consecutive iterations at a time; for `Guided(k)`
+/// chunk sizes decay proportionally to the remaining work but never drop
+/// below `k`; `NonmonotonicDynamic` models the OpenMP 5
+/// `nonmonotonic:dynamic` behaviour the paper highlights — an initial
+/// static distribution corrected by work stealing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Contiguous blocks, one per thread (`schedule(static)`).
+    #[default]
+    Static,
+    /// Round-robin blocks of `k` iterations (`schedule(static, k)`).
+    StaticChunk(usize),
+    /// First-come first-served chunks of `k` (`schedule(dynamic, k)`).
+    Dynamic(usize),
+    /// Exponentially decreasing chunks, minimum `k` (`schedule(guided, k)`).
+    Guided(usize),
+    /// Static distribution + work stealing (`schedule(nonmonotonic:dynamic)`).
+    NonmonotonicDynamic(usize),
+}
+
+impl Schedule {
+    /// Parses the `OMP_SCHEDULE` syntax used in the paper's Fig. 5 sweep
+    /// script: `static`, `static,4`, `dynamic`, `dynamic,2`, `guided`,
+    /// `nonmonotonic:dynamic`, ...
+    pub fn parse(s: &str) -> Result<Schedule> {
+        let (kind, chunk) = match s.split_once(',') {
+            Some((k, c)) => {
+                let chunk: usize = c
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::Config(format!("bad schedule chunk in `{s}`")))?;
+                if chunk == 0 {
+                    return Err(Error::Config(format!("schedule chunk must be > 0 in `{s}`")));
+                }
+                (k.trim(), Some(chunk))
+            }
+            None => (s.trim(), None),
+        };
+        match kind {
+            "static" => Ok(match chunk {
+                None => Schedule::Static,
+                Some(k) => Schedule::StaticChunk(k),
+            }),
+            "dynamic" => Ok(Schedule::Dynamic(chunk.unwrap_or(1))),
+            "guided" => Ok(Schedule::Guided(chunk.unwrap_or(1))),
+            "nonmonotonic:dynamic" => Ok(Schedule::NonmonotonicDynamic(chunk.unwrap_or(1))),
+            _ => Err(Error::Config(format!("unknown schedule `{s}`"))),
+        }
+    }
+
+    /// The canonical `OMP_SCHEDULE` spelling, inverse of [`Schedule::parse`].
+    pub fn as_omp_str(&self) -> String {
+        match self {
+            Schedule::Static => "static".to_string(),
+            Schedule::StaticChunk(k) => format!("static,{k}"),
+            Schedule::Dynamic(1) => "dynamic".to_string(),
+            Schedule::Dynamic(k) => format!("dynamic,{k}"),
+            Schedule::Guided(1) => "guided".to_string(),
+            Schedule::Guided(k) => format!("guided,{k}"),
+            Schedule::NonmonotonicDynamic(1) => "nonmonotonic:dynamic".to_string(),
+            Schedule::NonmonotonicDynamic(k) => format!("nonmonotonic:dynamic,{k}"),
+        }
+    }
+
+    /// The four policies compared in Fig. 4 and Fig. 6 of the paper.
+    pub fn paper_policies() -> [Schedule; 4] {
+        [
+            Schedule::Static,
+            Schedule::Dynamic(2),
+            Schedule::NonmonotonicDynamic(1),
+            Schedule::Guided(1),
+        ]
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.as_omp_str())
+    }
+}
+
+/// How much graphical/monitoring output the run produces — the
+/// `--no-display` / default / `--monitoring` trio from §II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisplayMode {
+    /// `--no-display`: silent performance mode (§II-C).
+    None,
+    /// Default: frames are rendered (here: dumped on request).
+    Display,
+    /// `--monitoring`: display plus Activity Monitor and Tiling windows.
+    Monitoring,
+}
+
+/// Fully parsed run configuration — the Rust face of the `easypap`
+/// command line plus the OpenMP ICVs (`OMP_NUM_THREADS`, `OMP_SCHEDULE`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// `--kernel` (default `none` is not allowed at run time).
+    pub kernel: String,
+    /// `--variant` (default `seq` like EASYPAP).
+    pub variant: String,
+    /// `--size`: image dimension (square).
+    pub dim: usize,
+    /// `--tile-size` / `--grain`: tile edge in pixels.
+    pub tile_size: usize,
+    /// `--iterations`.
+    pub iterations: u32,
+    /// `OMP_NUM_THREADS` equivalent (`--threads`).
+    pub threads: usize,
+    /// `OMP_SCHEDULE` equivalent (`--schedule`).
+    pub schedule: Schedule,
+    /// Display/monitoring mode.
+    pub display: DisplayMode,
+    /// `--trace`: record an execution trace.
+    pub trace: bool,
+    /// Trace output path (`--trace-file`), default `trace.ezv`.
+    pub trace_file: String,
+    /// `--mpirun "-np N"`: number of simulated MPI ranks (1 = no MPI).
+    pub mpi_ranks: usize,
+    /// `--debug M`: show monitor windows of every MPI rank (Fig. 13).
+    pub debug_mpi: bool,
+    /// `--arg`: free-form kernel argument (e.g. `life` initial pattern).
+    pub kernel_arg: Option<String>,
+    /// `--frames DIR`: dump one image per iteration into `DIR` (the
+    /// off-screen replacement for the animated SDL window).
+    pub frames_dir: Option<String>,
+    /// `--ansi`: print the final frame to the terminal as ANSI
+    /// true-color half-blocks.
+    pub ansi: bool,
+    /// Seed for randomized kernels, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            kernel: String::new(),
+            variant: "seq".to_string(),
+            dim: DEFAULT_DIM,
+            tile_size: DEFAULT_TILE_SIZE,
+            iterations: 1,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            schedule: Schedule::default(),
+            display: DisplayMode::Display,
+            trace: false,
+            trace_file: "trace.ezv".to_string(),
+            mpi_ranks: 1,
+            debug_mpi: false,
+            kernel_arg: None,
+            frames_dir: None,
+            ansi: false,
+            seed: 42,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Starts a config for `kernel`, everything else defaulted.
+    pub fn new(kernel: &str) -> Self {
+        RunConfig {
+            kernel: kernel.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: select the variant.
+    pub fn variant(mut self, v: &str) -> Self {
+        self.variant = v.to_string();
+        self
+    }
+
+    /// Builder: image dimension.
+    pub fn size(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Builder: tile edge.
+    pub fn tile(mut self, ts: usize) -> Self {
+        self.tile_size = ts;
+        self
+    }
+
+    /// Builder: iteration count.
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Builder: worker thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Builder: scheduling policy.
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Parses an `easypap`-style argument vector (without the program
+    /// name). Mirrors the options shown throughout §II of the paper.
+    pub fn parse_args<I, S>(args: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cfg = RunConfig::default();
+        let mut it = args.into_iter();
+        let need_value = |it: &mut dyn Iterator<Item = S>, opt: &str| -> Result<String> {
+            it.next()
+                .map(|s| s.as_ref().to_string())
+                .ok_or_else(|| Error::Config(format!("option {opt} requires a value")))
+        };
+        while let Some(arg) = it.next() {
+            let arg = arg.as_ref();
+            match arg {
+                "--kernel" | "-k" => cfg.kernel = need_value(&mut it, arg)?,
+                "--variant" | "-v" => cfg.variant = need_value(&mut it, arg)?,
+                "--size" | "-s" => {
+                    cfg.dim = parse_num(&need_value(&mut it, arg)?, arg)?;
+                }
+                "--tile-size" | "--grain" | "-ts" | "-g" => {
+                    cfg.tile_size = parse_num(&need_value(&mut it, arg)?, arg)?;
+                }
+                "--iterations" | "-i" => {
+                    cfg.iterations = parse_num(&need_value(&mut it, arg)?, arg)? as u32;
+                }
+                "--threads" | "-t" => {
+                    cfg.threads = parse_num(&need_value(&mut it, arg)?, arg)?;
+                }
+                "--schedule" => cfg.schedule = Schedule::parse(&need_value(&mut it, arg)?)?,
+                "--no-display" | "-n" => cfg.display = DisplayMode::None,
+                "--monitoring" | "-m" => cfg.display = DisplayMode::Monitoring,
+                "--trace" | "-tr" => cfg.trace = true,
+                "--trace-file" => cfg.trace_file = need_value(&mut it, arg)?,
+                "--mpirun" => {
+                    // the paper passes the raw mpirun flags, e.g. "-np 2"
+                    let spec = need_value(&mut it, arg)?;
+                    cfg.mpi_ranks = parse_mpirun(&spec)?;
+                }
+                "--debug" => {
+                    let flags = need_value(&mut it, arg)?;
+                    if flags.contains('M') {
+                        cfg.debug_mpi = true;
+                    }
+                }
+                "--arg" | "-a" => cfg.kernel_arg = Some(need_value(&mut it, arg)?),
+                "--frames" => cfg.frames_dir = Some(need_value(&mut it, arg)?),
+                "--ansi" => cfg.ansi = true,
+                "--seed" => cfg.seed = parse_num(&need_value(&mut it, arg)?, arg)? as u64,
+                other => return Err(Error::Config(format!("unknown option `{other}`"))),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.kernel.is_empty() {
+            return Err(Error::Config("--kernel is required".into()));
+        }
+        if self.dim == 0 {
+            return Err(Error::Config("--size must be > 0".into()));
+        }
+        if self.tile_size == 0 {
+            return Err(Error::Config("--tile-size must be > 0".into()));
+        }
+        if self.tile_size > self.dim {
+            return Err(Error::Config(format!(
+                "--tile-size {} exceeds image dimension {}",
+                self.tile_size, self.dim
+            )));
+        }
+        if self.threads == 0 {
+            return Err(Error::Config("--threads must be > 0".into()));
+        }
+        if self.mpi_ranks == 0 {
+            return Err(Error::Config("--mpirun needs at least one rank".into()));
+        }
+        Ok(())
+    }
+
+    /// The tile grid implied by `--size` and `--tile-size`.
+    pub fn grid(&self) -> Result<crate::TileGrid> {
+        crate::TileGrid::square(self.dim, self.tile_size)
+    }
+}
+
+fn parse_num(s: &str, opt: &str) -> Result<usize> {
+    s.parse()
+        .map_err(|_| Error::Config(format!("option {opt}: `{s}` is not a number")))
+}
+
+/// Extracts the rank count from an mpirun flag string such as `-np 2`.
+fn parse_mpirun(spec: &str) -> Result<usize> {
+    let mut words = spec.split_whitespace();
+    while let Some(w) = words.next() {
+        if w == "-np" || w == "-n" {
+            let v = words
+                .next()
+                .ok_or_else(|| Error::Config(format!("--mpirun `{spec}`: -np needs a value")))?;
+            return parse_num(v, "--mpirun -np");
+        }
+    }
+    Err(Error::Config(format!("--mpirun `{spec}`: no -np flag found")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_parse_all_forms() {
+        assert_eq!(Schedule::parse("static").unwrap(), Schedule::Static);
+        assert_eq!(Schedule::parse("static,4").unwrap(), Schedule::StaticChunk(4));
+        assert_eq!(Schedule::parse("dynamic").unwrap(), Schedule::Dynamic(1));
+        assert_eq!(Schedule::parse("dynamic,2").unwrap(), Schedule::Dynamic(2));
+        assert_eq!(Schedule::parse("guided").unwrap(), Schedule::Guided(1));
+        assert_eq!(Schedule::parse("guided,8").unwrap(), Schedule::Guided(8));
+        assert_eq!(
+            Schedule::parse("nonmonotonic:dynamic").unwrap(),
+            Schedule::NonmonotonicDynamic(1)
+        );
+        assert!(Schedule::parse("bogus").is_err());
+        assert!(Schedule::parse("dynamic,x").is_err());
+        assert!(Schedule::parse("dynamic,0").is_err());
+    }
+
+    #[test]
+    fn schedule_round_trips_through_omp_str() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(3),
+            Schedule::Dynamic(1),
+            Schedule::Dynamic(2),
+            Schedule::Guided(1),
+            Schedule::Guided(4),
+            Schedule::NonmonotonicDynamic(1),
+            Schedule::NonmonotonicDynamic(2),
+        ] {
+            assert_eq!(Schedule::parse(&s.as_omp_str()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn paper_policies_match_fig4() {
+        let p = Schedule::paper_policies();
+        assert!(p.contains(&Schedule::Static));
+        assert!(p.contains(&Schedule::Dynamic(2)));
+        assert!(p.contains(&Schedule::Guided(1)));
+        assert!(p.contains(&Schedule::NonmonotonicDynamic(1)));
+    }
+
+    #[test]
+    fn parse_paper_command_line() {
+        // easypap --kernel mandel --variant omp_tiled --tile-size 16
+        //         --iterations 50 --no-display
+        let cfg = RunConfig::parse_args([
+            "--kernel",
+            "mandel",
+            "--variant",
+            "omp_tiled",
+            "--tile-size",
+            "16",
+            "--iterations",
+            "50",
+            "--no-display",
+        ])
+        .unwrap();
+        assert_eq!(cfg.kernel, "mandel");
+        assert_eq!(cfg.variant, "omp_tiled");
+        assert_eq!(cfg.tile_size, 16);
+        assert_eq!(cfg.iterations, 50);
+        assert_eq!(cfg.display, DisplayMode::None);
+    }
+
+    #[test]
+    fn parse_mpi_command_line() {
+        // easypap --kernel life --variant mpi_omp --mpirun "-np 2"
+        //         --monitoring --debug M
+        let cfg = RunConfig::parse_args([
+            "--kernel", "life", "--variant", "mpi_omp", "--mpirun", "-np 2", "--monitoring",
+            "--debug", "M",
+        ])
+        .unwrap();
+        assert_eq!(cfg.mpi_ranks, 2);
+        assert!(cfg.debug_mpi);
+        assert_eq!(cfg.display, DisplayMode::Monitoring);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(RunConfig::parse_args(["--bogus"]).is_err());
+        assert!(RunConfig::parse_args(["--kernel"]).is_err());
+        assert!(RunConfig::parse_args(["--kernel", "mandel", "--size", "abc"]).is_err());
+        assert!(RunConfig::parse_args(["--size", "64"]).is_err()); // kernel missing
+        assert!(RunConfig::parse_args(["--kernel", "mandel", "--mpirun", "-x 2"]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut cfg = RunConfig::new("mandel");
+        cfg.tile_size = 2048;
+        cfg.dim = 1024;
+        assert!(cfg.validate().is_err());
+        cfg.tile_size = 0;
+        assert!(cfg.validate().is_err());
+        cfg.tile_size = 16;
+        cfg.threads = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = RunConfig::new("blur")
+            .variant("omp_tiled")
+            .size(512)
+            .tile(32)
+            .iterations(10)
+            .threads(4)
+            .schedule(Schedule::Dynamic(2));
+        assert_eq!(cfg.kernel, "blur");
+        assert_eq!(cfg.variant, "omp_tiled");
+        assert_eq!(cfg.dim, 512);
+        assert_eq!(cfg.tile_size, 32);
+        assert_eq!(cfg.iterations, 10);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.schedule, Schedule::Dynamic(2));
+        assert!(cfg.validate().is_ok());
+        let grid = cfg.grid().unwrap();
+        assert_eq!(grid.len(), 256);
+    }
+
+    #[test]
+    fn frames_and_ansi_options() {
+        let cfg = RunConfig::parse_args([
+            "--kernel", "spin", "--frames", "out/frames", "--ansi",
+        ])
+        .unwrap();
+        assert_eq!(cfg.frames_dir.as_deref(), Some("out/frames"));
+        assert!(cfg.ansi);
+        let plain = RunConfig::parse_args(["--kernel", "spin"]).unwrap();
+        assert!(plain.frames_dir.is_none());
+        assert!(!plain.ansi);
+    }
+
+    #[test]
+    fn grain_is_an_alias_for_tile_size() {
+        let cfg = RunConfig::parse_args(["--kernel", "mandel", "--grain", "16"]).unwrap();
+        assert_eq!(cfg.tile_size, 16);
+    }
+}

@@ -1,0 +1,104 @@
+//! Monotonic time utilities shared by the monitor, the tracer and the
+//! performance mode.
+//!
+//! All timestamps in the workspace are nanoseconds relative to a single
+//! process-wide origin, so that events recorded by different worker
+//! threads are directly comparable — the property the EASYVIEW Gantt
+//! chart relies on.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the first call to any function of this
+/// module (the "process origin").
+#[inline]
+pub fn now_ns() -> u64 {
+    let origin = ORIGIN.get_or_init(Instant::now);
+    origin.elapsed().as_nanos() as u64
+}
+
+/// Forces the origin to be initialized now. Call once at startup so that
+/// the first measured event does not pay the initialization cost.
+pub fn init_clock() {
+    let _ = ORIGIN.get_or_init(Instant::now);
+}
+
+/// A simple stopwatch for the performance mode (§II-C).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: u64,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: now_ns() }
+    }
+
+    /// Nanoseconds elapsed since `start`.
+    pub fn elapsed_ns(&self) -> u64 {
+        now_ns() - self.start
+    }
+
+    /// Microseconds elapsed — EASYPAP's CSV stores µs (`refTime=669009`
+    /// in Fig. 6 is microseconds).
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed_ns() / 1_000
+    }
+
+    /// Milliseconds elapsed — what the console summary prints
+    /// ("50 iterations completed in 579 ms").
+    pub fn elapsed_ms(&self) -> u64 {
+        self.elapsed_ns() / 1_000_000
+    }
+}
+
+/// Formats a nanosecond duration the way EASYVIEW's hover bubble does:
+/// picks the most readable unit.
+pub fn format_duration_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let sw = Stopwatch::start();
+        // burn a little time deterministically
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        assert!(sw.elapsed_ns() > 0);
+        assert!(sw.elapsed_us() <= sw.elapsed_ns());
+        assert!(sw.elapsed_ms() <= sw.elapsed_us());
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(format_duration_ns(500), "500 ns");
+        assert_eq!(format_duration_ns(1_500), "1.5 µs");
+        assert_eq!(format_duration_ns(2_500_000), "2.5 ms");
+        assert_eq!(format_duration_ns(3_210_000_000), "3.21 s");
+    }
+}

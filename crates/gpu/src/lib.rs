@@ -1,0 +1,23 @@
+//! # ezp-gpu — a virtual OpenCL-style device (paper §V, future work)
+//!
+//! EASYPAP lets students run kernels written in OpenCL but, at the time
+//! of the paper, "monitoring and trace exploration are not yet
+//! implemented. These features will soon be developed by leveraging
+//! OpenCL profiling events." This crate supplies both halves as a
+//! simulation (no GPU in this environment, see DESIGN.md): an SPMD
+//! execution model — a per-work-item function applied over an NDRange
+//! decomposed into work-groups — and per-work-group profiling events
+//! scheduled onto a configurable number of virtual compute units.
+//!
+//! The work-group decomposition reuses [`ezp_core::TileGrid`], so GPU
+//! profiling events convert into ordinary tile traces and the whole
+//! EASYVIEW tooling applies to "GPU" runs too — the integration the
+//! paper announces as future work.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod profile;
+
+pub use device::{NdRange, VirtualDevice};
+pub use profile::{LaunchProfile, ProfilingEvent};

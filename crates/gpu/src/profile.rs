@@ -1,0 +1,168 @@
+//! OpenCL-style profiling events for work-group execution.
+
+use ezp_core::error::Result;
+use ezp_core::TileGrid;
+use ezp_monitor::report::IterationSpan;
+use ezp_monitor::TileRecord;
+use ezp_trace::{Trace, TraceMeta};
+
+/// One executed work-group, with `CL_PROFILING_COMMAND_{START,END}`-like
+/// virtual timestamps and the compute unit that ran it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfilingEvent {
+    /// Work-group coordinates in the NDRange grid.
+    pub group: (usize, usize),
+    /// Virtual compute unit that executed the group.
+    pub cu: usize,
+    /// Virtual start time (ns).
+    pub start_ns: u64,
+    /// Virtual end time (ns).
+    pub end_ns: u64,
+}
+
+impl ProfilingEvent {
+    /// Execution duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The profile of one kernel launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaunchProfile {
+    /// Number of virtual compute units of the device.
+    pub compute_units: usize,
+    /// One event per work-group.
+    pub events: Vec<ProfilingEvent>,
+    /// Virtual completion time of the launch.
+    pub makespan_ns: u64,
+}
+
+impl LaunchProfile {
+    /// Busy virtual time per compute unit.
+    pub fn busy_per_cu(&self) -> Vec<u64> {
+        let mut busy = vec![0u64; self.compute_units];
+        for e in &self.events {
+            busy[e.cu] += e.duration_ns();
+        }
+        busy
+    }
+
+    /// Device occupancy in `[0, 1]`: mean CU busy time over makespan.
+    pub fn occupancy(&self) -> f64 {
+        if self.makespan_ns == 0 || self.compute_units == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.busy_per_cu().iter().sum();
+        total as f64 / (self.makespan_ns as f64 * self.compute_units as f64)
+    }
+
+    /// Converts the profile to a standard trace over `grid` (work-groups
+    /// become tiles, compute units become workers), unlocking EASYVIEW.
+    pub fn to_trace(&self, grid: &TileGrid, kernel: &str) -> Result<Trace> {
+        let mut tasks: Vec<TileRecord> = self
+            .events
+            .iter()
+            .map(|e| {
+                let t = grid.tile(e.group.0, e.group.1);
+                TileRecord {
+                    iteration: 1,
+                    x: t.x,
+                    y: t.y,
+                    w: t.w,
+                    h: t.h,
+                    start_ns: e.start_ns,
+                    end_ns: e.end_ns,
+                    worker: e.cu,
+                }
+            })
+            .collect();
+        tasks.sort_by_key(|t| (t.iteration, t.start_ns));
+        let trace = Trace {
+            meta: TraceMeta {
+                kernel: kernel.to_string(),
+                variant: "gpu".to_string(),
+                dim: grid.width(),
+                tile_size: grid.tile_w(),
+                threads: self.compute_units,
+                schedule: "gpu-workgroups".to_string(),
+                label: format!("gpu {kernel} ({} CUs)", self.compute_units),
+            },
+            iterations: vec![IterationSpan {
+                iteration: 1,
+                start_ns: 0,
+                end_ns: self.makespan_ns,
+            }],
+            tasks,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> LaunchProfile {
+        LaunchProfile {
+            compute_units: 2,
+            events: vec![
+                ProfilingEvent {
+                    group: (0, 0),
+                    cu: 0,
+                    start_ns: 0,
+                    end_ns: 100,
+                },
+                ProfilingEvent {
+                    group: (1, 0),
+                    cu: 1,
+                    start_ns: 0,
+                    end_ns: 60,
+                },
+                ProfilingEvent {
+                    group: (0, 1),
+                    cu: 1,
+                    start_ns: 60,
+                    end_ns: 120,
+                },
+                ProfilingEvent {
+                    group: (1, 1),
+                    cu: 0,
+                    start_ns: 100,
+                    end_ns: 150,
+                },
+            ],
+            makespan_ns: 150,
+        }
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let p = profile();
+        assert_eq!(p.busy_per_cu(), vec![150, 120]);
+        assert!((p.occupancy() - 270.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_conversion() {
+        let grid = TileGrid::square(32, 16).unwrap();
+        let t = profile().to_trace(&grid, "mandel").unwrap();
+        assert_eq!(t.meta.variant, "gpu");
+        assert_eq!(t.tasks.len(), 4);
+        assert_eq!(t.iterations.len(), 1);
+        let report = t.to_report().unwrap();
+        assert_eq!(report.tiling_snapshot(1).computed_tiles(), 4);
+    }
+
+    #[test]
+    fn empty_profile_occupancy_is_zero() {
+        let p = LaunchProfile {
+            compute_units: 4,
+            events: vec![],
+            makespan_ns: 0,
+        };
+        assert_eq!(p.occupancy(), 0.0);
+        assert_eq!(p.busy_per_cu(), vec![0; 4]);
+    }
+}

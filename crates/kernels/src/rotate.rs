@@ -1,0 +1,136 @@
+//! The Rotate90 kernel: `next(x, y) = cur(y, DIM-1-x)` — a quarter-turn
+//! clockwise per iteration. Like `transpose`, its parallel interest is
+//! the mismatch between read and write tile footprints.
+
+use ezp_core::error::{Error, Result};
+use ezp_core::{Kernel, KernelCtx};
+use ezp_sched::{parallel_for_tiles, ImgCell, WorkerPool};
+
+/// The rotate90 kernel.
+#[derive(Default)]
+pub struct Rotate90;
+
+impl Kernel for Rotate90 {
+    fn name(&self) -> &'static str {
+        "rotate90"
+    }
+
+    fn variants(&self) -> Vec<&'static str> {
+        vec!["seq", "omp_tiled"]
+    }
+
+    fn init(&mut self, ctx: &mut KernelCtx) -> Result<()> {
+        crate::shapes::test_card(ctx.images.cur_mut());
+        Ok(())
+    }
+
+    fn compute(&mut self, ctx: &mut KernelCtx, variant: &str, nb_iter: u32) -> Result<Option<u32>> {
+        let dim = ctx.dim();
+        match variant {
+            "seq" => {
+                for it in 1..=nb_iter {
+                    ctx.probe.iteration_start(it);
+                    ctx.probe.start_tile(0);
+                    {
+                        let (src, dst) = ctx.images.rw();
+                        for y in 0..dim {
+                            for x in 0..dim {
+                                dst.set(x, y, src.get(y, dim - 1 - x));
+                            }
+                        }
+                    }
+                    ctx.probe.end_tile(0, 0, dim, dim, 0);
+                    ctx.images.swap();
+                    ctx.probe.iteration_end(it);
+                }
+            }
+            "omp_tiled" => {
+                let grid = ctx.grid;
+                let schedule = ctx.cfg.schedule;
+                let mut pool = WorkerPool::new(ctx.threads());
+                for it in 1..=nb_iter {
+                    ctx.probe.iteration_start(it);
+                    {
+                        let (src, dst) = ctx.images.rw();
+                        let cell = ImgCell::new(dst);
+                        parallel_for_tiles(&mut pool, &grid, schedule, &*ctx.probe, |t, _| {
+                            let w = cell.tile_writer(t);
+                            for y in t.y..t.y + t.h {
+                                for x in t.x..t.x + t.w {
+                                    w.set(x, y, src.get(y, dim - 1 - x));
+                                }
+                            }
+                        });
+                    }
+                    ctx.images.swap();
+                    ctx.probe.iteration_end(it);
+                }
+            }
+            other => {
+                return Err(Error::UnknownKernel {
+                    kernel: "rotate90".into(),
+                    variant: other.into(),
+                })
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezp_core::{Rgba, RunConfig};
+
+    fn run(variant: &str, dim: usize, tile: usize, iters: u32) -> Vec<Rgba> {
+        let mut ctx =
+            KernelCtx::new(RunConfig::new("rotate90").size(dim).tile(tile).threads(3)).unwrap();
+        let mut k = Rotate90;
+        k.init(&mut ctx).unwrap();
+        k.compute(&mut ctx, variant, iters).unwrap();
+        ctx.images.cur().as_slice().to_vec()
+    }
+
+    #[test]
+    fn single_rotation_moves_corners() {
+        let dim = 16;
+        let out = run("seq", dim, 8, 1);
+        let mut original = ezp_core::Img2D::square(dim);
+        crate::shapes::test_card(&mut original);
+        // clockwise: the top-left corner goes to the top-right
+        assert_eq!(out[dim - 1], original.get(0, 0));
+        // and every pixel follows next(x,y) = cur(y, dim-1-x)
+        for y in 0..dim {
+            for x in 0..dim {
+                assert_eq!(out[y * dim + x], original.get(y, dim - 1 - x));
+            }
+        }
+    }
+
+    #[test]
+    fn four_rotations_are_identity() {
+        let dim = 20;
+        let out = run("omp_tiled", dim, 8, 4);
+        let mut original = ezp_core::Img2D::square(dim);
+        crate::shapes::test_card(&mut original);
+        assert_eq!(out, original.as_slice());
+    }
+
+    #[test]
+    fn two_rotations_are_point_reflection() {
+        let dim = 12;
+        let out = run("seq", dim, 4, 2);
+        let mut original = ezp_core::Img2D::square(dim);
+        crate::shapes::test_card(&mut original);
+        for y in 0..dim {
+            for x in 0..dim {
+                assert_eq!(out[y * dim + x], original.get(dim - 1 - x, dim - 1 - y));
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_seq_on_ragged_grid() {
+        assert_eq!(run("omp_tiled", 28, 8, 3), run("seq", 28, 8, 3));
+    }
+}

@@ -1,0 +1,29 @@
+//! # ezp-monitor — real-time monitoring (paper §II-B)
+//!
+//! EASYPAP's monitoring mode pops up two windows: the **Activity
+//! Monitor** (per-CPU load, cumulated-idleness history) and the **Tiling
+//! window** (which thread computed which tile, with an optional
+//! heat-map mode where brightness encodes task duration, Fig. 9).
+//!
+//! This crate is the data half of those windows. The [`Monitor`] probe
+//! collects per-worker tile records with negligible overhead (one
+//! uncontended mutex push per tile, per-worker slots are cache-padded);
+//! [`MonitorReport`] then derives everything the windows display:
+//! per-iteration per-CPU busy/idle accounting ([`report::IterationStats`]),
+//! tile→thread snapshots ([`tiling::TilingSnapshot`]) and heat maps
+//! ([`tiling::HeatMap`]). Rendering to images/ASCII lives in
+//! [`tiling`] and [`activity`]; interactive exploration of *traces* is
+//! `ezp-view`'s job.
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod live;
+pub mod record;
+pub mod report;
+pub mod tiling;
+
+pub use live::Monitor;
+pub use record::TileRecord;
+pub use report::{IterationStats, MonitorReport};
+pub use tiling::{HeatMap, TilingSnapshot};

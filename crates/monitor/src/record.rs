@@ -1,0 +1,91 @@
+//! The unit of monitoring data: one computed tile.
+
+use ezp_core::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// One `monitoring_start_tile` / `monitoring_end_tile` bracket: a tile
+/// computed by one worker during one iteration, with wall-clock
+/// timestamps (nanoseconds since the process origin).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileRecord {
+    /// Iteration during which the tile was computed (1-based, like the
+    /// paper's `for (it = 1; it <= nb_iter; it++)` loop).
+    pub iteration: u32,
+    /// Left pixel column of the tile rectangle.
+    pub x: usize,
+    /// Top pixel row.
+    pub y: usize,
+    /// Rectangle width in pixels.
+    pub w: usize,
+    /// Rectangle height in pixels.
+    pub h: usize,
+    /// Start timestamp (ns).
+    pub start_ns: u64,
+    /// End timestamp (ns).
+    pub end_ns: u64,
+    /// Worker that computed the tile.
+    pub worker: WorkerId,
+}
+
+impl TileRecord {
+    /// Task duration in nanoseconds.
+    #[inline]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// True when the time interval of `self` overlaps `[t0, t1)` — the
+    /// query behind EASYVIEW's vertical mouse mode ("tasks intersecting
+    /// the mouse x-axis have their corresponding tile highlighted").
+    #[inline]
+    pub fn intersects_time(&self, t0: u64, t1: u64) -> bool {
+        self.start_ns < t1 && t0 < self.end_ns
+    }
+
+    /// Number of pixels covered by the tile rectangle.
+    #[inline]
+    pub fn pixels(&self) -> usize {
+        self.w * self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: u64, end: u64) -> TileRecord {
+        TileRecord {
+            iteration: 1,
+            x: 0,
+            y: 0,
+            w: 8,
+            h: 4,
+            start_ns: start,
+            end_ns: end,
+            worker: 0,
+        }
+    }
+
+    #[test]
+    fn duration_and_pixels() {
+        let r = rec(100, 250);
+        assert_eq!(r.duration_ns(), 150);
+        assert_eq!(r.pixels(), 32);
+    }
+
+    #[test]
+    fn duration_saturates_on_clock_skew() {
+        assert_eq!(rec(200, 100).duration_ns(), 0);
+    }
+
+    #[test]
+    fn time_intersection() {
+        let r = rec(100, 200);
+        assert!(r.intersects_time(150, 160)); // inside
+        assert!(r.intersects_time(50, 150)); // overlaps start
+        assert!(r.intersects_time(150, 250)); // overlaps end
+        assert!(r.intersects_time(0, 1000)); // contains
+        assert!(!r.intersects_time(0, 100)); // touches start (half-open)
+        assert!(!r.intersects_time(200, 300)); // touches end (half-open)
+    }
+}

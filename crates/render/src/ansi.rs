@@ -1,0 +1,111 @@
+//! True-color terminal rendering with half-block glyphs.
+//!
+//! Each character cell shows two vertically stacked pixels: the upper
+//! one as the foreground color of `▀` (U+2580), the lower one as the
+//! background. A 64×64 image therefore needs 64×32 cells — small
+//! enough for a terminal, sharp enough to recognize the Mandelbrot set.
+
+use ezp_core::{Img2D, Rgba};
+
+/// The glyph whose foreground paints the upper pixel.
+const UPPER_HALF: char = '\u{2580}';
+
+/// Renders `img` as ANSI true-color text (rows of half-blocks, reset at
+/// each line end). Odd heights get a black bottom pixel on the last row.
+pub fn to_ansi(img: &Img2D<Rgba>) -> String {
+    let w = img.width();
+    let h = img.height();
+    let mut out = String::with_capacity(w * h * 20);
+    let mut y = 0;
+    while y < h {
+        for x in 0..w {
+            let top = img.get(x, y);
+            let bottom = if y + 1 < h { img.get(x, y + 1) } else { Rgba::BLACK };
+            out.push_str(&format!(
+                "\x1b[38;2;{};{};{}m\x1b[48;2;{};{};{}m{}",
+                top.r(),
+                top.g(),
+                top.b(),
+                bottom.r(),
+                bottom.g(),
+                bottom.b(),
+                UPPER_HALF
+            ));
+        }
+        out.push_str("\x1b[0m\n");
+        y += 2;
+    }
+    out
+}
+
+/// Renders `img` as plain-ASCII luminance art (for logs and tests where
+/// escape codes are unwelcome): 10-level ramp, one char per pixel.
+pub fn to_ascii_luma(img: &Img2D<Rgba>) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((img.width() + 1) * img.height());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let p = img.get(x, y);
+            // integer Rec.601 luma
+            let luma = (299 * p.r() as u32 + 587 * p.g() as u32 + 114 * p.b() as u32) / 1000;
+            let idx = (luma as usize * (RAMP.len() - 1)) / 255;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ansi_has_one_row_per_two_pixel_rows() {
+        let img: Img2D<Rgba> = Img2D::filled(4, 6, Rgba::RED);
+        let s = to_ansi(&img);
+        assert_eq!(s.lines().count(), 3);
+        assert_eq!(s.matches(UPPER_HALF).count(), 12);
+        assert!(s.contains("\x1b[38;2;255;0;0m"));
+        assert!(s.ends_with("\x1b[0m\n"));
+    }
+
+    #[test]
+    fn odd_height_padded_with_black() {
+        let img: Img2D<Rgba> = Img2D::filled(2, 3, Rgba::WHITE);
+        let s = to_ansi(&img);
+        assert_eq!(s.lines().count(), 2);
+        // last row's background is black padding
+        assert!(s.contains("\x1b[48;2;0;0;0m"));
+    }
+
+    #[test]
+    fn luma_ramp_extremes() {
+        let mut img: Img2D<Rgba> = Img2D::filled(2, 1, Rgba::BLACK);
+        img.set(1, 0, Rgba::WHITE);
+        let s = to_ascii_luma(&img);
+        assert_eq!(s, " @\n");
+    }
+
+    #[test]
+    fn luma_is_monotonic_in_gray_level() {
+        let grays: Vec<Rgba> = (0..=255u32)
+            .step_by(17)
+            .map(|v| Rgba::new(v as u8, v as u8, v as u8, 255))
+            .collect();
+        let mut img: Img2D<Rgba> = Img2D::new(grays.len(), 1);
+        for (i, &g) in grays.iter().enumerate() {
+            img.set(i, 0, g);
+        }
+        let s = to_ascii_luma(&img);
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let levels: Vec<usize> = s
+            .trim_end()
+            .bytes()
+            .map(|b| RAMP.iter().position(|&r| r == b).unwrap())
+            .collect();
+        for w in levels.windows(2) {
+            assert!(w[0] <= w[1], "luma ramp not monotone: {levels:?}");
+        }
+    }
+}

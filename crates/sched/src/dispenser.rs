@@ -1,0 +1,539 @@
+//! OpenMP loop-scheduling policies as concurrent chunk dispensers.
+//!
+//! A [`Dispenser`] hands out chunks `(start, len)` of a linear iteration
+//! space `0..n` to worker ranks until exhaustion. One dispenser instance
+//! serves one `parallel for`; the five implementations mirror the
+//! `schedule(...)` clauses the paper's Fig. 4 visualizes:
+//!
+//! * [`StaticBlock`] — `schedule(static)`: one contiguous block per rank;
+//! * [`StaticCyclic`] — `schedule(static, k)`: round-robin chunks of `k`;
+//! * [`DynamicChunks`] — `schedule(dynamic, k)`: first-come first-served;
+//! * [`GuidedChunks`] — `schedule(guided, k)`: exponentially shrinking
+//!   chunks, never below `k`;
+//! * [`StealingDispenser`] — `schedule(nonmonotonic:dynamic)`: "tiles are
+//!   first distributed in a static manner, but work-stealing is
+//!   eventually used to correct load imbalance" (§II-B).
+//!
+//! The dispensers are lock-free where the policy allows (atomic cursors)
+//! and use short per-rank `parking_lot` critical sections for stealing.
+
+use ezp_core::Schedule;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A concurrent source of chunks over `0..n`.
+///
+/// Implementations must collectively hand out every index exactly once,
+/// whatever the interleaving of `next` calls — the invariant the
+/// property tests in this module pin down.
+pub trait Dispenser: Sync + Send {
+    /// Next chunk for `rank`, as `(start, len)` with `len > 0`, or `None`
+    /// when no work is left for this rank.
+    fn next(&self, rank: usize) -> Option<(usize, usize)>;
+
+    /// Total length of the iteration space.
+    fn len(&self) -> usize;
+
+    /// True when the iteration space is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds the dispenser implementing `schedule` for `n` iterations and
+/// `threads` ranks.
+pub fn dispenser_for(schedule: Schedule, n: usize, threads: usize) -> Box<dyn Dispenser> {
+    assert!(threads > 0, "dispenser needs at least one rank");
+    match schedule {
+        Schedule::Static => Box::new(StaticBlock::new(n, threads)),
+        Schedule::StaticChunk(k) => Box::new(StaticCyclic::new(n, threads, k)),
+        Schedule::Dynamic(k) => Box::new(DynamicChunks::new(n, k)),
+        Schedule::Guided(k) => Box::new(GuidedChunks::new(n, threads, k)),
+        Schedule::NonmonotonicDynamic(k) => Box::new(StealingDispenser::new(n, threads, k)),
+    }
+}
+
+/// `schedule(static)`: rank `r` owns the contiguous block
+/// `[r*n/P, (r+1)*n/P)` (even split, remainder spread over low ranks,
+/// like libgomp). Served as one chunk per rank.
+pub struct StaticBlock {
+    n: usize,
+    threads: usize,
+    /// Per-rank "already taken" flags (an atomic cursor would also do,
+    /// but one flag per rank keeps `next` wait-free).
+    taken: Vec<AtomicUsize>,
+}
+
+impl StaticBlock {
+    /// Creates the dispenser.
+    pub fn new(n: usize, threads: usize) -> Self {
+        StaticBlock {
+            n,
+            threads,
+            taken: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// The block assigned to `rank`, as `(start, len)`.
+    pub fn block_of(n: usize, threads: usize, rank: usize) -> (usize, usize) {
+        let base = n / threads;
+        let rem = n % threads;
+        let start = rank * base + rank.min(rem);
+        let len = base + usize::from(rank < rem);
+        (start, len)
+    }
+}
+
+impl Dispenser for StaticBlock {
+    fn next(&self, rank: usize) -> Option<(usize, usize)> {
+        if rank >= self.threads || self.taken[rank].swap(1, Ordering::Relaxed) == 1 {
+            return None;
+        }
+        let (start, len) = Self::block_of(self.n, self.threads, rank);
+        if len == 0 {
+            None
+        } else {
+            Some((start, len))
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// `schedule(static, k)`: chunk `i` (of size `k`) goes to rank
+/// `i % threads`, so rank `r` serves chunks `r, r+P, r+2P, ...`.
+pub struct StaticCyclic {
+    n: usize,
+    threads: usize,
+    k: usize,
+    /// Per-rank next chunk index.
+    cursor: Vec<AtomicUsize>,
+}
+
+impl StaticCyclic {
+    /// Creates the dispenser; `k` is clamped to at least 1.
+    pub fn new(n: usize, threads: usize, k: usize) -> Self {
+        StaticCyclic {
+            n,
+            threads,
+            k: k.max(1),
+            cursor: (0..threads).map(AtomicUsize::new).collect(),
+        }
+    }
+}
+
+impl Dispenser for StaticCyclic {
+    fn next(&self, rank: usize) -> Option<(usize, usize)> {
+        if rank >= self.threads {
+            return None;
+        }
+        let chunk = self.cursor[rank].fetch_add(self.threads, Ordering::Relaxed);
+        let start = chunk * self.k;
+        if start >= self.n {
+            return None;
+        }
+        Some((start, self.k.min(self.n - start)))
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// `schedule(dynamic, k)`: a single atomic cursor; idle ranks grab the
+/// next `k` iterations — "the opportunistic nature of the dynamic
+/// clause" (Fig. 4b).
+pub struct DynamicChunks {
+    n: usize,
+    k: usize,
+    cursor: AtomicUsize,
+}
+
+impl DynamicChunks {
+    /// Creates the dispenser; `k` is clamped to at least 1.
+    pub fn new(n: usize, k: usize) -> Self {
+        DynamicChunks {
+            n,
+            k: k.max(1),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Dispenser for DynamicChunks {
+    fn next(&self, _rank: usize) -> Option<(usize, usize)> {
+        let start = self.cursor.fetch_add(self.k, Ordering::Relaxed);
+        if start >= self.n {
+            return None;
+        }
+        Some((start, self.k.min(self.n - start)))
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// `schedule(guided, k)`: each grab takes `max(remaining / (2 P), k)`
+/// iterations, so "the size of chunks assigned to threads decreases over
+/// time" (Fig. 4d). Implemented with a CAS loop on the shared cursor.
+pub struct GuidedChunks {
+    n: usize,
+    threads: usize,
+    k: usize,
+    cursor: AtomicUsize,
+}
+
+impl GuidedChunks {
+    /// Creates the dispenser; `k` is clamped to at least 1.
+    pub fn new(n: usize, threads: usize, k: usize) -> Self {
+        GuidedChunks {
+            n,
+            threads,
+            k: k.max(1),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Dispenser for GuidedChunks {
+    fn next(&self, _rank: usize) -> Option<(usize, usize)> {
+        let mut cur = self.cursor.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.n {
+                return None;
+            }
+            let remaining = self.n - cur;
+            let chunk = (remaining.div_ceil(2 * self.threads)).max(self.k).min(remaining);
+            match self.cursor.compare_exchange_weak(
+                cur,
+                cur + chunk,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some((cur, chunk)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// `schedule(nonmonotonic:dynamic)`: the OpenMP 5 behaviour the paper
+/// singles out (Fig. 4c) — an initial static distribution corrected by
+/// work stealing. Each rank owns a range `[lo, hi)`; the owner takes `k`
+/// iterations from the front, thieves split half of the largest victim's
+/// remaining range from the back (preserving the "static at first,
+/// stolen later" visual pattern and the locality the paper praises in
+/// §III-B).
+pub struct StealingDispenser {
+    n: usize,
+    k: usize,
+    ranges: Vec<Mutex<(usize, usize)>>,
+}
+
+impl StealingDispenser {
+    /// Creates the dispenser; `k` is clamped to at least 1.
+    pub fn new(n: usize, threads: usize, k: usize) -> Self {
+        let ranges = (0..threads)
+            .map(|r| {
+                let (start, len) = StaticBlock::block_of(n, threads, r);
+                Mutex::new((start, start + len))
+            })
+            .collect();
+        StealingDispenser {
+            n,
+            k: k.max(1),
+            ranges,
+        }
+    }
+
+    /// Takes up to `k` iterations from the front of `rank`'s own range.
+    fn take_local(&self, rank: usize) -> Option<(usize, usize)> {
+        let mut r = self.ranges[rank].lock();
+        if r.0 >= r.1 {
+            return None;
+        }
+        let len = self.k.min(r.1 - r.0);
+        let start = r.0;
+        r.0 += len;
+        Some((start, len))
+    }
+
+    /// Steals half of the largest victim's remaining range into `rank`'s
+    /// own range, then serves from it.
+    fn steal(&self, rank: usize) -> Option<(usize, usize)> {
+        loop {
+            // pick the victim with the most remaining work
+            let victim = (0..self.ranges.len())
+                .filter(|&v| v != rank)
+                .max_by_key(|&v| {
+                    let r = self.ranges[v].lock();
+                    r.1.saturating_sub(r.0)
+                })?;
+            let stolen = {
+                let mut r = self.ranges[victim].lock();
+                let avail = r.1.saturating_sub(r.0);
+                if avail == 0 {
+                    // someone drained the victim between the scan and the
+                    // lock; if *everything* is empty we are done (drop the
+                    // victim lock first — total_remaining relocks it)
+                    drop(r);
+                    if self.total_remaining() == 0 {
+                        return None;
+                    }
+                    continue;
+                }
+                let take = (avail / 2).max(1).min(avail);
+                let start = r.1 - take;
+                r.1 = start;
+                (start, start + take)
+            };
+            let mut own = self.ranges[rank].lock();
+            debug_assert!(own.0 >= own.1, "stealing with local work left");
+            *own = stolen;
+            drop(own);
+            return self.take_local(rank);
+        }
+    }
+
+    fn total_remaining(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|r| {
+                let r = r.lock();
+                r.1.saturating_sub(r.0)
+            })
+            .sum()
+    }
+}
+
+impl Dispenser for StealingDispenser {
+    fn next(&self, rank: usize) -> Option<(usize, usize)> {
+        if rank >= self.ranges.len() {
+            return None;
+        }
+        self.take_local(rank).or_else(|| self.steal(rank))
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Drains a dispenser from a single rank, for tests and the simulator.
+pub fn drain_rank(d: &dyn Dispenser, rank: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    while let Some(c) = d.next(rank) {
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Exhausts a dispenser from `threads` ranks round-robin (serial but
+    /// interleaved), returning every index handed out.
+    fn drain_interleaved(d: &dyn Dispenser, threads: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut live: Vec<usize> = (0..threads).collect();
+        while !live.is_empty() {
+            live.retain(|&rank| match d.next(rank) {
+                Some((start, len)) => {
+                    out.extend(start..start + len);
+                    true
+                }
+                None => false,
+            });
+        }
+        out
+    }
+
+    fn assert_exact_cover(indices: &[usize], n: usize) {
+        assert_eq!(indices.len(), n, "wrong number of iterations handed out");
+        let set: BTreeSet<usize> = indices.iter().copied().collect();
+        assert_eq!(set.len(), n, "duplicate iterations");
+        assert_eq!(set.iter().next_back().copied(), n.checked_sub(1));
+    }
+
+    #[test]
+    fn static_blocks_are_contiguous_and_even() {
+        let d = StaticBlock::new(10, 3);
+        assert_eq!(d.next(0), Some((0, 4)));
+        assert_eq!(d.next(1), Some((4, 3)));
+        assert_eq!(d.next(2), Some((7, 3)));
+        assert_eq!(d.next(0), None);
+        assert_eq!(d.next(5), None); // out-of-range rank
+    }
+
+    #[test]
+    fn static_handles_more_threads_than_work() {
+        let d = StaticBlock::new(2, 5);
+        let got = drain_interleaved(&d, 5);
+        assert_exact_cover(&got, 2);
+    }
+
+    #[test]
+    fn static_cyclic_round_robins() {
+        let d = StaticCyclic::new(12, 2, 2); // chunks: 0..2,2..4,...
+        assert_eq!(d.next(0), Some((0, 2)));
+        assert_eq!(d.next(1), Some((2, 2)));
+        assert_eq!(d.next(0), Some((4, 2)));
+        assert_eq!(d.next(1), Some((6, 2)));
+        assert_eq!(d.next(0), Some((8, 2)));
+        assert_eq!(d.next(1), Some((10, 2)));
+        assert_eq!(d.next(0), None);
+        assert_eq!(d.next(1), None);
+    }
+
+    #[test]
+    fn dynamic_is_first_come_first_served() {
+        let d = DynamicChunks::new(5, 2);
+        assert_eq!(d.next(1), Some((0, 2)));
+        assert_eq!(d.next(0), Some((2, 2)));
+        assert_eq!(d.next(1), Some((4, 1))); // last partial chunk
+        assert_eq!(d.next(0), None);
+    }
+
+    #[test]
+    fn guided_chunks_shrink_and_respect_min() {
+        let d = GuidedChunks::new(1000, 4, 5);
+        let chunks = drain_rank(&d, 0);
+        let sizes: Vec<usize> = chunks.iter().map(|&(_, l)| l).collect();
+        // non-increasing
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "guided chunks grew: {sizes:?}");
+        }
+        // first chunk is remaining/(2P) = 125
+        assert_eq!(sizes[0], 125);
+        // all chunks (except possibly the last) >= k
+        for &s in &sizes[..sizes.len() - 1] {
+            assert!(s >= 5);
+        }
+        assert_exact_cover(&drain_interleaved(&GuidedChunks::new(1000, 4, 5), 4), 1000);
+    }
+
+    #[test]
+    fn stealing_starts_static_then_steals() {
+        let d = StealingDispenser::new(8, 2, 1);
+        // rank 1 drains its own half first
+        let own: Vec<_> = (0..4).map(|_| d.next(1).unwrap()).collect();
+        assert_eq!(own, vec![(4, 1), (5, 1), (6, 1), (7, 1)]);
+        // now rank 1 must steal from rank 0's untouched block [0,4):
+        // steals the back half [2,4)
+        assert_eq!(d.next(1), Some((2, 1)));
+        assert_eq!(d.next(1), Some((3, 1)));
+        // rank 0 still owns [0,2)
+        assert_eq!(d.next(0), Some((0, 1)));
+        assert_eq!(d.next(0), Some((1, 1)));
+        assert_eq!(d.next(0), None);
+        assert_eq!(d.next(1), None);
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        for sched in [
+            Schedule::Static,
+            Schedule::StaticChunk(2),
+            Schedule::Dynamic(2),
+            Schedule::Guided(2),
+            Schedule::NonmonotonicDynamic(2),
+        ] {
+            let d = dispenser_for(sched, 0, 3);
+            assert!(d.is_empty());
+            for rank in 0..3 {
+                assert_eq!(d.next(rank), None, "{sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_exact_cover_all_policies() {
+        // the real-threads version of the coverage invariant
+        for sched in [
+            Schedule::Static,
+            Schedule::StaticChunk(3),
+            Schedule::Dynamic(2),
+            Schedule::Guided(1),
+            Schedule::NonmonotonicDynamic(2),
+        ] {
+            let threads = 4;
+            let n = 1017;
+            let d = dispenser_for(sched, n, threads);
+            let d_ref: &dyn Dispenser = &*d;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|s| {
+                for rank in 0..threads {
+                    let hits = &hits;
+                    let d_ref = &d_ref;
+                    s.spawn(move || {
+                        while let Some((start, len)) = d_ref.next(rank) {
+                            for h in hits.iter().skip(start).take(len) {
+                                h.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "{sched:?}: iteration {i} handed out a wrong number of times"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exact_cover(
+            n in 0usize..500,
+            threads in 1usize..9,
+            k in 1usize..8,
+            which in 0usize..5,
+        ) {
+            let sched = match which {
+                0 => Schedule::Static,
+                1 => Schedule::StaticChunk(k),
+                2 => Schedule::Dynamic(k),
+                3 => Schedule::Guided(k),
+                _ => Schedule::NonmonotonicDynamic(k),
+            };
+            let d = dispenser_for(sched, n, threads);
+            let got = drain_interleaved(&*d, threads);
+            assert_exact_cover(&got, n);
+        }
+
+        #[test]
+        fn prop_guided_non_increasing(n in 1usize..2000, threads in 1usize..9, k in 1usize..6) {
+            let d = GuidedChunks::new(n, threads, k);
+            let sizes: Vec<usize> = drain_rank(&d, 0).iter().map(|&(_, l)| l).collect();
+            for w in sizes.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_static_block_partition(n in 0usize..10_000, threads in 1usize..17) {
+            let mut total = 0;
+            let mut next_start = 0;
+            for rank in 0..threads {
+                let (start, len) = StaticBlock::block_of(n, threads, rank);
+                prop_assert_eq!(start, next_start);
+                next_start = start + len;
+                total += len;
+            }
+            prop_assert_eq!(total, n);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # ezp-sched — the OpenMP-substrate: thread pool, loop scheduling, tasks
+//!
+//! EASYPAP assignments revolve around OpenMP's `parallel for`,
+//! `schedule(...)` clauses and task dependencies. This crate rebuilds that
+//! runtime from scratch on plain threads, so that the framework has the
+//! same knobs the paper teaches:
+//!
+//! * [`WorkerPool`] — a persistent pool of worker threads executing
+//!   parallel regions (`#pragma omp parallel`);
+//! * [`dispenser`] — OpenMP loop-scheduling policies (`static`,
+//!   `static,k`, `dynamic,k`, `guided,k`, `nonmonotonic:dynamic`) as
+//!   concurrent chunk dispensers over a linear iteration space;
+//! * [`parallel`] — `parallel_for`-style helpers over index ranges and
+//!   tile grids, with the paper's `monitoring_start_tile`/`end_tile`
+//!   instrumentation built in (§II-B);
+//! * [`img_cell`] — the disjoint-tile shared-image wrapper that lets
+//!   worker threads write their own tiles of one image concurrently;
+//! * [`taskgraph`] — OpenMP-style tasks with dependencies, used by the
+//!   connected-components wavefront of Fig. 11/12.
+//!
+//! The per-policy *behaviour* (who computes which tile) is exactly what
+//! the Tiling window of Fig. 4 visualizes; `ezp-simsched` replays the
+//! same policies in virtual time for deterministic analysis.
+
+#![warn(missing_docs)]
+
+pub mod dispenser;
+pub mod img_cell;
+pub mod parallel;
+pub mod pool;
+pub mod taskgraph;
+
+pub use dispenser::{dispenser_for, Dispenser};
+pub use img_cell::{ImgCell, TileWriter};
+pub use parallel::{parallel_for_range, parallel_for_tiles, parallel_for_tiles_img};
+pub use pool::WorkerPool;
+pub use taskgraph::TaskGraph;

@@ -1,0 +1,291 @@
+//! A persistent worker-thread pool executing parallel regions.
+//!
+//! `WorkerPool::run(f)` is `#pragma omp parallel`: every worker invokes
+//! `f(rank)` once, and `run` returns when all of them are done. Workers
+//! are parked between regions, so repeated parallel loops (one per
+//! iteration of a kernel, like Fig. 2's `omp parallel` around the
+//! iteration loop) do not pay thread creation costs.
+//!
+//! ## Safety architecture
+//!
+//! The pool hands workers a borrowed closure without boxing per region.
+//! The closure reference is type- and lifetime-erased into a raw pointer
+//! while the region runs; soundness rests on a strict protocol:
+//!
+//! 1. `run` publishes the erased pointer under a mutex, then wakes workers;
+//! 2. workers copy the pointer and the region sequence number, run the
+//!    closure, then report completion;
+//! 3. `run` does not return (and therefore the closure cannot be dropped
+//!    or its borrows invalidated) until every worker has reported.
+//!
+//! Worker panics are caught, counted, and re-raised from `run` as a
+//! single panic naming the region, so a crashing tile function cannot
+//! deadlock the pool.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The job a region runs: type-erased `&dyn Fn(usize)`.
+#[derive(Clone, Copy)]
+struct ErasedJob {
+    /// Raw wide pointer to the region closure.
+    ptr: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointer is only dereferenced while `run` keeps the original
+// closure alive (see protocol above), and the pointee is `Sync`.
+unsafe impl Send for ErasedJob {}
+
+struct PoolState {
+    /// Current job and its sequence number (0 = no job yet).
+    job: Mutex<(u64, Option<ErasedJob>)>,
+    /// Signals workers that a new job (or shutdown) is available.
+    job_ready: Condvar,
+    /// Workers still running the current region.
+    remaining: AtomicUsize,
+    /// Signals `run` that the region is complete.
+    region_done: Mutex<u64>,
+    done_cv: Condvar,
+    /// Number of workers that panicked in the current region.
+    panics: AtomicUsize,
+    /// Set when the pool is shutting down. Written under the `job` mutex
+    /// so that workers waiting on `job_ready` cannot miss the wakeup.
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    next_seq: u64,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (ranks `0..threads`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one worker");
+        let state = Arc::new(PoolState {
+            job: Mutex::new((0, None)),
+            job_ready: Condvar::new(),
+            remaining: AtomicUsize::new(0),
+            region_done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panics: AtomicUsize::new(0),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|rank| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("ezp-worker-{rank}"))
+                    .spawn(move || worker_loop(rank, state))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            state,
+            handles,
+            threads,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one parallel region: every worker executes `f(rank)` exactly
+    /// once; returns when all are done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker panicked inside `f` (after the region has
+    /// fully completed, so the pool stays usable).
+    pub fn run(&mut self, f: impl Fn(usize) + Sync) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.state.panics.store(0, Ordering::Relaxed);
+        self.state.remaining.store(self.threads, Ordering::Release);
+        // Erase the closure, including its lifetime: the pointee outlives
+        // the region because this function owns `f` and blocks until every
+        // worker reports done, so extending the pointer to `'static` is
+        // sound under the protocol documented at the top of the module.
+        let ptr: *const (dyn Fn(usize) + Sync) = &f;
+        let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
+        let erased = ErasedJob { ptr };
+        {
+            let mut job = self.state.job.lock();
+            *job = (seq, Some(erased));
+            self.state.job_ready.notify_all();
+        }
+        // Wait for completion.
+        let mut done = self.state.region_done.lock();
+        while *done < seq {
+            self.state.done_cv.wait(&mut done);
+        }
+        drop(done);
+        let panics = self.state.panics.load(Ordering::Acquire);
+        if panics > 0 {
+            panic!("{panics} worker(s) panicked in parallel region {seq}");
+        }
+    }
+
+    /// Runs a region over exactly `n` conceptual workers even when the
+    /// pool is larger or smaller: ranks `>= n` return immediately.
+    /// Convenient for `--threads` smaller than the pool.
+    pub fn run_limited(&mut self, n: usize, f: impl Fn(usize) + Sync) {
+        let n = n.min(self.threads);
+        self.run(|rank| {
+            if rank < n {
+                f(rank);
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            // Hold the job mutex while flipping the flag: a worker is
+            // either inside `job_ready.wait` (and gets the notify) or has
+            // not re-checked the flag yet (and will see it set).
+            let _guard = self.state.job.lock();
+            self.state.shutdown.store(true, Ordering::Release);
+            self.state.job_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rank: usize, state: Arc<PoolState>) {
+    let mut last_seq = 0u64;
+    loop {
+        // Wait for a job newer than the last one we ran, or shutdown.
+        let job = {
+            let mut guard = state.job.lock();
+            loop {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let (seq, job) = *guard;
+                if seq > last_seq {
+                    last_seq = seq;
+                    break job.expect("job published without closure");
+                }
+                state.job_ready.wait(&mut guard);
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until we report done.
+        let f = unsafe { &*job.ptr };
+        if std::panic::catch_unwind(AssertUnwindSafe(|| f(rank))).is_err() {
+            state.panics.fetch_add(1, Ordering::AcqRel);
+        }
+        if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last worker out closes the region.
+            let mut done = state.region_done.lock();
+            *done = last_seq;
+            state.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_rank_runs_exactly_once() {
+        let mut pool = WorkerPool::new(4);
+        let hits = [const { AtomicU64::new(0) }; 4];
+        pool.run(|rank| {
+            hits[rank].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let mut pool = WorkerPool::new(3);
+        let count = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn borrows_are_visible_after_run() {
+        let mut pool = WorkerPool::new(4);
+        let data: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|rank| data[rank].store(rank as u64 + 1, Ordering::Relaxed));
+        let values: Vec<u64> = data.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+        assert_eq!(values, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let mut pool = WorkerPool::new(1);
+        let count = AtomicU64::new(0);
+        pool.run(|rank| {
+            assert_eq!(rank, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_limited_skips_high_ranks() {
+        let mut pool = WorkerPool::new(4);
+        let hits = [const { AtomicU64::new(0) }; 4];
+        pool.run_limited(2, |rank| {
+            hits[rank].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits[0].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[2].load(Ordering::Relaxed), 0);
+        assert_eq!(hits[3].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_and_pool_survives() {
+        let mut pool = WorkerPool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|rank| {
+                if rank == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // pool must still work after a panicked region
+        let count = AtomicU64::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = WorkerPool::new(3);
+        drop(pool); // must not hang
+    }
+}

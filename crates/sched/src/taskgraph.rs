@@ -1,0 +1,342 @@
+//! OpenMP-style tasks with dependencies.
+//!
+//! The connected-components assignment (paper §III-C) parallelizes a 2D
+//! propagation with `#pragma omp task depend(in: left, up) depend(inout:
+//! self)` (Fig. 11), producing the diagonal "wave of tasks" EASYVIEW
+//! visualizes in Fig. 12. [`TaskGraph`] is that runtime: a DAG of task
+//! ids executed by a [`WorkerPool`] such that a task never starts before
+//! all of its predecessors completed.
+
+use crate::pool::WorkerPool;
+use ezp_core::error::{Error, Result};
+use ezp_core::{TileGrid, WorkerId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A directed acyclic graph of `n` tasks (ids `0..n`).
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    /// `dependents[t]` = tasks that must wait for `t`.
+    dependents: Vec<Vec<usize>>,
+    /// Number of predecessors per task.
+    indegree: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// Creates a graph of `n` independent tasks.
+    pub fn new(n: usize) -> Self {
+        TaskGraph {
+            dependents: vec![Vec::new(); n],
+            indegree: vec![0; n],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.indegree.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.indegree.is_empty()
+    }
+
+    /// Declares that `after` cannot start before `before` completed
+    /// (`depend(in: before) depend(inout: after)`).
+    pub fn add_dep(&mut self, before: usize, after: usize) {
+        assert!(before < self.len() && after < self.len(), "task id out of range");
+        assert_ne!(before, after, "a task cannot depend on itself");
+        self.dependents[before].push(after);
+        self.indegree[after] += 1;
+    }
+
+    /// Predecessor count of `task`.
+    pub fn indegree(&self, task: usize) -> usize {
+        self.indegree[task]
+    }
+
+    /// Tasks that directly depend on `task` (its successors).
+    pub fn dependents(&self, task: usize) -> &[usize] {
+        &self.dependents[task]
+    }
+
+    /// The down-right wavefront over a tile grid: tile `(tx, ty)` depends
+    /// on its left and upper neighbours — the exact dependence pattern of
+    /// Fig. 11. Task ids are the grid's linear indices.
+    pub fn down_right_wavefront(grid: &TileGrid) -> Self {
+        let mut g = TaskGraph::new(grid.len());
+        for t in grid.iter() {
+            let id = grid.linear_index(t.tx, t.ty);
+            if t.tx > 0 {
+                g.add_dep(grid.linear_index(t.tx - 1, t.ty), id);
+            }
+            if t.ty > 0 {
+                g.add_dep(grid.linear_index(t.tx, t.ty - 1), id);
+            }
+        }
+        g
+    }
+
+    /// The symmetric up-left wavefront: tile `(tx, ty)` depends on its
+    /// right and lower neighbours (the second phase of `ccomp`).
+    pub fn up_left_wavefront(grid: &TileGrid) -> Self {
+        let mut g = TaskGraph::new(grid.len());
+        for t in grid.iter() {
+            let id = grid.linear_index(t.tx, t.ty);
+            if t.tx + 1 < grid.tiles_x() {
+                g.add_dep(grid.linear_index(t.tx + 1, t.ty), id);
+            }
+            if t.ty + 1 < grid.tiles_y() {
+                g.add_dep(grid.linear_index(t.tx, t.ty + 1), id);
+            }
+        }
+        g
+    }
+
+    /// Executes every task sequentially in a valid topological order.
+    /// Returns [`Error::Config`] when the graph has a cycle.
+    pub fn run_seq(&self, mut f: impl FnMut(usize)) -> Result<()> {
+        let mut indegree = self.indegree.clone();
+        let mut ready: VecDeque<usize> = (0..self.len()).filter(|&t| indegree[t] == 0).collect();
+        let mut done = 0;
+        while let Some(t) = ready.pop_front() {
+            f(t);
+            done += 1;
+            for &d in &self.dependents[t] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push_back(d);
+                }
+            }
+        }
+        if done != self.len() {
+            return Err(Error::Config(format!(
+                "task graph has a cycle: only {done}/{} tasks runnable",
+                self.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Executes the graph on the pool: workers pick ready tasks, run
+    /// `f(task, rank)`, and release dependents. Returns when all tasks
+    /// completed, or with an error when the graph has a cycle.
+    pub fn run(&self, pool: &mut WorkerPool, f: impl Fn(usize, WorkerId) + Sync) -> Result<()> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let indegree: Vec<AtomicUsize> =
+            self.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
+        struct Queue {
+            ready: VecDeque<usize>,
+            completed: usize,
+            in_flight: usize,
+        }
+        let queue = Mutex::new(Queue {
+            ready: (0..n).filter(|&t| self.indegree[t] == 0).collect(),
+            completed: 0,
+            in_flight: 0,
+        });
+        let cv = Condvar::new();
+        let cycle = AtomicBool::new(false);
+
+        pool.run(|rank| {
+            let mut guard = queue.lock();
+            loop {
+                if guard.completed == n || cycle.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(task) = guard.ready.pop_front() {
+                    guard.in_flight += 1;
+                    drop(guard);
+                    f(task, rank);
+                    let mut newly_ready = Vec::new();
+                    for &d in &self.dependents[task] {
+                        if indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            newly_ready.push(d);
+                        }
+                    }
+                    guard = queue.lock();
+                    guard.in_flight -= 1;
+                    guard.completed += 1;
+                    guard.ready.extend(newly_ready);
+                    if guard.completed == n || !guard.ready.is_empty() {
+                        cv.notify_all();
+                    }
+                } else if guard.in_flight == 0 {
+                    // nothing running, nothing ready, not all done: cycle
+                    cycle.store(true, Ordering::Relaxed);
+                    cv.notify_all();
+                    return;
+                } else {
+                    cv.wait(&mut guard);
+                }
+            }
+        });
+
+        if cycle.load(Ordering::Relaxed) {
+            let done = queue.lock().completed;
+            return Err(Error::Config(format!(
+                "task graph has a cycle: only {done}/{n} tasks runnable"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn record_parallel(graph: &TaskGraph, threads: usize) -> Vec<usize> {
+        let mut pool = WorkerPool::new(threads);
+        let order = Mutex::new(Vec::new());
+        graph.run(&mut pool, |t, _| order.lock().push(t)).unwrap();
+        order.into_inner()
+    }
+
+    fn assert_topological(graph: &TaskGraph, order: &[usize]) {
+        let pos: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        assert_eq!(order.len(), graph.len(), "not all tasks ran");
+        for t in 0..graph.len() {
+            for &d in &graph.dependents[t] {
+                assert!(
+                    pos[&t] < pos[&d],
+                    "dependency violated: {t} must precede {d} in {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_runs_in_order() {
+        let mut g = TaskGraph::new(5);
+        for i in 0..4 {
+            g.add_dep(i, i + 1);
+        }
+        let order = record_parallel(&g, 4);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn diamond_respects_deps() {
+        // 0 -> {1, 2} -> 3
+        let mut g = TaskGraph::new(4);
+        g.add_dep(0, 1);
+        g.add_dep(0, 2);
+        g.add_dep(1, 3);
+        g.add_dep(2, 3);
+        for _ in 0..10 {
+            let order = record_parallel(&g, 3);
+            assert_topological(&g, &order);
+            assert_eq!(order[0], 0);
+            assert_eq!(order[3], 3);
+        }
+    }
+
+    #[test]
+    fn wavefront_order_is_diagonal() {
+        let grid = TileGrid::square(40, 10).unwrap(); // 4x4 tiles
+        let g = TaskGraph::down_right_wavefront(&grid);
+        let order = record_parallel(&g, 4);
+        assert_topological(&g, &order);
+        // the first task must be the top-left corner, the last the
+        // bottom-right corner — the wave of Fig. 12
+        assert_eq!(order[0], 0);
+        assert_eq!(*order.last().unwrap(), grid.len() - 1);
+    }
+
+    #[test]
+    fn up_left_wavefront_is_reversed() {
+        let grid = TileGrid::square(30, 10).unwrap(); // 3x3
+        let g = TaskGraph::up_left_wavefront(&grid);
+        let order = record_parallel(&g, 2);
+        assert_topological(&g, &order);
+        assert_eq!(order[0], grid.len() - 1); // bottom-right first
+        assert_eq!(*order.last().unwrap(), 0); // top-left last
+    }
+
+    #[test]
+    fn cycle_is_detected_parallel_and_seq() {
+        let mut g = TaskGraph::new(3);
+        g.add_dep(0, 1);
+        g.add_dep(1, 2);
+        g.add_dep(2, 0);
+        let mut pool = WorkerPool::new(2);
+        assert!(g.run(&mut pool, |_, _| {}).is_err());
+        assert!(g.run_seq(|_| {}).is_err());
+        // pool survives a cycle error
+        let done = AtomicUsize::new(0);
+        TaskGraph::new(2)
+            .run(&mut pool, |_, _| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn partial_cycle_still_runs_prefix_tasks() {
+        // 0 -> 1, plus a 2<->3 cycle: 0 and 1 can run, then error
+        let mut g = TaskGraph::new(4);
+        g.add_dep(0, 1);
+        g.add_dep(2, 3);
+        g.add_dep(3, 2);
+        let ran = Mutex::new(Vec::new());
+        let mut pool = WorkerPool::new(2);
+        let err = g.run(&mut pool, |t, _| ran.lock().push(t)).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+        let mut ran = ran.into_inner();
+        ran.sort_unstable();
+        assert_eq!(ran, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_done() {
+        let g = TaskGraph::new(0);
+        let mut pool = WorkerPool::new(2);
+        assert!(g.run(&mut pool, |_, _| {}).is_ok());
+        assert!(g.run_seq(|_| {}).is_ok());
+    }
+
+    #[test]
+    fn seq_matches_parallel_coverage() {
+        let grid = TileGrid::square(50, 10).unwrap();
+        let g = TaskGraph::down_right_wavefront(&grid);
+        let mut seq_order = Vec::new();
+        g.run_seq(|t| seq_order.push(t)).unwrap();
+        assert_topological(&g, &seq_order);
+    }
+
+    #[test]
+    #[should_panic(expected = "depend on itself")]
+    fn self_dependency_rejected() {
+        let mut g = TaskGraph::new(2);
+        g.add_dep(1, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_random_dag_runs_topologically(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+            threads in 1usize..5,
+        ) {
+            let mut g = TaskGraph::new(n);
+            for (a, b) in edges {
+                let (a, b) = (a % n, b % n);
+                // only forward edges -> guaranteed acyclic
+                if a < b {
+                    g.add_dep(a, b);
+                }
+            }
+            let order = record_parallel(&g, threads);
+            assert_topological(&g, &order);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The `.ezv` binary trace format, plus JSON export.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic   b"EZV\x01"                       (4 raw bytes)
+//! meta    varint length + JSON bytes        (TraceMeta)
+//! iters   varint count, then per span:      iteration, start, end-start
+//! tasks   varint count, then per task:
+//!           iteration, x, y, w, h, worker,
+//!           start delta (vs previous task start), duration
+//! ```
+//!
+//! Task starts are sorted, so delta-encoding keeps them tiny; `end` is
+//! stored as a duration for the same reason. A still-open iteration span
+//! (`end == u64::MAX`) is preserved via a 0/1 flag.
+
+use crate::model::{Trace, TraceMeta};
+use crate::varint::{read_u64, read_usize, write_u64, write_usize};
+use bytes::Buf;
+use ezp_core::error::{Error, Result};
+use ezp_monitor::report::IterationSpan;
+use ezp_monitor::TileRecord;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"EZV\x01";
+
+/// Serializes a trace to `.ezv` bytes.
+pub fn to_bytes(trace: &Trace) -> Result<Vec<u8>> {
+    trace.validate()?;
+    let mut out = Vec::with_capacity(64 + trace.tasks.len() * 8);
+    out.extend_from_slice(MAGIC);
+
+    let meta = serde_json::to_vec(&trace.meta)
+        .map_err(|e| Error::TraceFormat(format!("meta serialization failed: {e}")))?;
+    write_usize(&mut out, meta.len());
+    out.extend_from_slice(&meta);
+
+    write_usize(&mut out, trace.iterations.len());
+    for s in &trace.iterations {
+        write_u64(&mut out, s.iteration as u64);
+        write_u64(&mut out, s.start_ns);
+        if s.end_ns == u64::MAX {
+            write_u64(&mut out, 0); // open
+        } else {
+            write_u64(&mut out, 1); // closed
+            write_u64(&mut out, s.end_ns - s.start_ns);
+        }
+    }
+
+    write_usize(&mut out, trace.tasks.len());
+    let mut prev_start = 0u64;
+    for t in &trace.tasks {
+        write_u64(&mut out, t.iteration as u64);
+        write_usize(&mut out, t.x);
+        write_usize(&mut out, t.y);
+        write_usize(&mut out, t.w);
+        write_usize(&mut out, t.h);
+        write_usize(&mut out, t.worker);
+        // starts are non-decreasing within an iteration but may step back
+        // across iterations; encode a sign flag + magnitude
+        let (sign, delta) = if t.start_ns >= prev_start {
+            (0u64, t.start_ns - prev_start)
+        } else {
+            (1u64, prev_start - t.start_ns)
+        };
+        write_u64(&mut out, sign);
+        write_u64(&mut out, delta);
+        write_u64(&mut out, t.end_ns - t.start_ns);
+        prev_start = t.start_ns;
+    }
+    Ok(out)
+}
+
+/// Parses `.ezv` bytes back into a trace (validated).
+pub fn from_bytes(bytes: &[u8]) -> Result<Trace> {
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(Error::TraceFormat("bad magic (not an .ezv trace)".into()));
+    }
+    buf.advance(4);
+
+    let meta_len = read_usize(&mut buf)?;
+    if buf.remaining() < meta_len {
+        return Err(Error::TraceFormat("truncated metadata".into()));
+    }
+    let meta: TraceMeta = serde_json::from_slice(&buf[..meta_len])
+        .map_err(|e| Error::TraceFormat(format!("bad metadata JSON: {e}")))?;
+    buf.advance(meta_len);
+
+    let iter_count = read_usize(&mut buf)?;
+    let mut iterations = Vec::with_capacity(iter_count.min(1 << 20));
+    for _ in 0..iter_count {
+        let iteration = read_u64(&mut buf)? as u32;
+        let start_ns = read_u64(&mut buf)?;
+        let end_ns = match read_u64(&mut buf)? {
+            0 => u64::MAX,
+            1 => start_ns + read_u64(&mut buf)?,
+            other => {
+                return Err(Error::TraceFormat(format!("bad span flag {other}")));
+            }
+        };
+        iterations.push(IterationSpan {
+            iteration,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    let task_count = read_usize(&mut buf)?;
+    let mut tasks = Vec::with_capacity(task_count.min(1 << 20));
+    let mut prev_start = 0u64;
+    for _ in 0..task_count {
+        let iteration = read_u64(&mut buf)? as u32;
+        let x = read_usize(&mut buf)?;
+        let y = read_usize(&mut buf)?;
+        let w = read_usize(&mut buf)?;
+        let h = read_usize(&mut buf)?;
+        let worker = read_usize(&mut buf)?;
+        let sign = read_u64(&mut buf)?;
+        let delta = read_u64(&mut buf)?;
+        let start_ns = match sign {
+            0 => prev_start + delta,
+            1 => prev_start.checked_sub(delta).ok_or_else(|| {
+                Error::TraceFormat("negative timestamp after delta decoding".into())
+            })?,
+            other => return Err(Error::TraceFormat(format!("bad delta sign {other}"))),
+        };
+        let end_ns = start_ns + read_u64(&mut buf)?;
+        prev_start = start_ns;
+        tasks.push(TileRecord {
+            iteration,
+            x,
+            y,
+            w,
+            h,
+            start_ns,
+            end_ns,
+            worker,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(Error::TraceFormat(format!(
+            "{} trailing bytes after trace",
+            buf.remaining()
+        )));
+    }
+    let trace = Trace {
+        meta,
+        iterations,
+        tasks,
+    };
+    trace.validate()?;
+    Ok(trace)
+}
+
+/// Writes a trace to `path` in binary `.ezv` form.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, to_bytes(trace)?)?;
+    Ok(())
+}
+
+/// Loads a binary `.ezv` trace from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+/// Exports a trace as pretty JSON (for external tooling / debugging).
+pub fn to_json(trace: &Trace) -> Result<String> {
+    serde_json::to_string_pretty(trace)
+        .map_err(|e| Error::TraceFormat(format!("JSON export failed: {e}")))
+}
+
+/// Imports a trace from its JSON export.
+pub fn from_json(json: &str) -> Result<Trace> {
+    let trace: Trace =
+        serde_json::from_str(json).map_err(|e| Error::TraceFormat(format!("bad JSON: {e}")))?;
+    trace.validate()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Trace {
+        let meta = TraceMeta {
+            kernel: "mandel".into(),
+            variant: "omp_tiled".into(),
+            dim: 64,
+            tile_size: 16,
+            threads: 3,
+            schedule: "dynamic,2".into(),
+            label: "run A".into(),
+        };
+        let mk = |it, x, y, s, e, w| TileRecord {
+            iteration: it,
+            x,
+            y,
+            w: 16,
+            h: 16,
+            start_ns: s,
+            end_ns: e,
+            worker: w,
+        };
+        Trace {
+            meta,
+            iterations: vec![
+                IterationSpan {
+                    iteration: 1,
+                    start_ns: 10,
+                    end_ns: 500,
+                },
+                IterationSpan {
+                    iteration: 2,
+                    start_ns: 500,
+                    end_ns: u64::MAX, // still open
+                },
+            ],
+            tasks: vec![
+                mk(1, 0, 0, 12, 120, 0),
+                mk(1, 16, 0, 15, 100, 1),
+                mk(1, 32, 0, 18, 300, 2),
+                mk(2, 0, 16, 505, 800, 1),
+                mk(2, 16, 16, 510, 620, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let bytes = to_bytes(&t).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let json = to_json(&t).unwrap();
+        assert!(json.contains("mandel"));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = sample();
+        let path =
+            std::env::temp_dir().join(format!("ezp_trace_test_{}.ezv", std::process::id()));
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&sample()).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(Error::TraceFormat(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = to_bytes(&sample()).unwrap();
+        // cutting the stream at any point must fail, never panic
+        for cut in 0..bytes.len() {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} succeeded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&sample()).unwrap();
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_trace_refuses_to_serialize() {
+        let mut t = sample();
+        t.tasks[0].worker = 99;
+        assert!(to_bytes(&t).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut t = sample();
+        t.tasks.clear();
+        t.iterations.clear();
+        let back = from_bytes(&to_bytes(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_round_trip(
+            n_tasks in 0usize..40,
+            seed in any::<u64>(),
+        ) {
+            // build a sorted, valid task list from the seed
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let mut tasks = Vec::new();
+            let mut start = 0u64;
+            for i in 0..n_tasks {
+                let it = 1 + (i / 8) as u32;
+                start += next() % 1000;
+                tasks.push(TileRecord {
+                    iteration: it,
+                    x: (next() % 64) as usize,
+                    y: (next() % 64) as usize,
+                    w: 1 + (next() % 16) as usize,
+                    h: 1 + (next() % 16) as usize,
+                    start_ns: start,
+                    end_ns: start + next() % 10_000,
+                    worker: (next() % 4) as usize,
+                });
+            }
+            let iterations = (1..=tasks.last().map(|t| t.iteration).unwrap_or(0))
+                .map(|it| IterationSpan { iteration: it, start_ns: it as u64, end_ns: it as u64 + 10 })
+                .collect();
+            let t = Trace {
+                meta: TraceMeta {
+                    kernel: "k".into(), variant: "v".into(), dim: 64, tile_size: 16,
+                    threads: 4, schedule: "static".into(), label: "p".into(),
+                },
+                iterations,
+                tasks,
+            };
+            let back = from_bytes(&to_bytes(&t).unwrap()).unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}

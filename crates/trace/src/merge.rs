@@ -1,0 +1,187 @@
+//! Merging per-rank traces into one global trace.
+//!
+//! The MPI variants (§III-D) produce one monitoring report per rank —
+//! the per-process windows of `--debug M`. To explore a distributed run
+//! in EASYVIEW as a single timeline, the per-rank traces are merged:
+//! rank `r`'s worker `w` becomes global worker `offset(r) + w`, task
+//! lists are interleaved by time, and iteration spans are unioned.
+
+use crate::model::{Trace, TraceMeta};
+use ezp_core::error::{Error, Result};
+use ezp_monitor::report::IterationSpan;
+
+/// Merges per-rank traces (indexed by rank) into one trace whose
+/// workers are globally numbered (`rank 0` keeps its ids, `rank 1` is
+/// offset by rank 0's thread count, ...).
+///
+/// All traces must agree on kernel geometry (`dim`, `tile_size`);
+/// kernel/variant metadata is taken from rank 0.
+pub fn merge_ranks(traces: &[Trace]) -> Result<Trace> {
+    let first = traces
+        .first()
+        .ok_or_else(|| Error::Config("cannot merge zero traces".into()))?;
+    for (rank, t) in traces.iter().enumerate() {
+        if t.meta.dim != first.meta.dim || t.meta.tile_size != first.meta.tile_size {
+            return Err(Error::Config(format!(
+                "rank {rank} has geometry {}x{} tiles {}, expected {}x{} tiles {}",
+                t.meta.dim, t.meta.dim, t.meta.tile_size, first.meta.dim, first.meta.dim,
+                first.meta.tile_size
+            )));
+        }
+    }
+    let total_threads: usize = traces.iter().map(|t| t.meta.threads).sum();
+
+    // union of iteration spans by iteration number
+    let mut spans: std::collections::BTreeMap<u32, IterationSpan> = std::collections::BTreeMap::new();
+    for t in traces {
+        for s in &t.iterations {
+            spans
+                .entry(s.iteration)
+                .and_modify(|acc| {
+                    acc.start_ns = acc.start_ns.min(s.start_ns);
+                    if s.end_ns != u64::MAX {
+                        acc.end_ns = if acc.end_ns == u64::MAX {
+                            s.end_ns
+                        } else {
+                            acc.end_ns.max(s.end_ns)
+                        };
+                    }
+                })
+                .or_insert(*s);
+        }
+    }
+
+    // tasks with globally renumbered workers
+    let mut tasks = Vec::with_capacity(traces.iter().map(|t| t.tasks.len()).sum());
+    let mut offset = 0usize;
+    for t in traces {
+        for task in &t.tasks {
+            let mut task = *task;
+            task.worker += offset;
+            tasks.push(task);
+        }
+        offset += t.meta.threads;
+    }
+    tasks.sort_by_key(|t| (t.iteration, t.start_ns));
+
+    let merged = Trace {
+        meta: TraceMeta {
+            kernel: first.meta.kernel.clone(),
+            variant: first.meta.variant.clone(),
+            dim: first.meta.dim,
+            tile_size: first.meta.tile_size,
+            threads: total_threads,
+            schedule: first.meta.schedule.clone(),
+            label: format!("{} ({} ranks merged)", first.meta.label, traces.len()),
+        },
+        iterations: spans.into_values().collect(),
+        tasks,
+    };
+    merged.validate()?;
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezp_monitor::TileRecord;
+
+    fn rank_trace(threads: usize, tasks: Vec<(u32, usize, usize, u64, u64, usize)>) -> Trace {
+        Trace {
+            meta: TraceMeta {
+                kernel: "life".into(),
+                variant: "mpi_omp".into(),
+                dim: 64,
+                tile_size: 16,
+                threads,
+                schedule: "dynamic".into(),
+                label: "rank".into(),
+            },
+            iterations: vec![IterationSpan {
+                iteration: 1,
+                start_ns: tasks.iter().map(|t| t.3).min().unwrap_or(0),
+                end_ns: tasks.iter().map(|t| t.4).max().unwrap_or(10),
+            }],
+            tasks: tasks
+                .into_iter()
+                .map(|(it, x, y, s, e, w)| TileRecord {
+                    iteration: it,
+                    x,
+                    y,
+                    w: 16,
+                    h: 16,
+                    start_ns: s,
+                    end_ns: e,
+                    worker: w,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn workers_are_renumbered_globally() {
+        let r0 = rank_trace(2, vec![(1, 0, 0, 0, 10, 0), (1, 16, 0, 2, 12, 1)]);
+        let r1 = rank_trace(2, vec![(1, 0, 32, 1, 11, 0), (1, 16, 32, 3, 13, 1)]);
+        let merged = merge_ranks(&[r0, r1]).unwrap();
+        assert_eq!(merged.meta.threads, 4);
+        let mut workers: Vec<usize> = merged.tasks.iter().map(|t| t.worker).collect();
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+        assert_eq!(merged.tasks.len(), 4);
+        // sorted by start time within the iteration
+        for w in merged.tasks.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn iteration_spans_are_unioned() {
+        let mut r0 = rank_trace(1, vec![(1, 0, 0, 5, 20, 0)]);
+        let mut r1 = rank_trace(1, vec![(1, 0, 32, 2, 15, 0)]);
+        r0.iterations[0] = IterationSpan {
+            iteration: 1,
+            start_ns: 5,
+            end_ns: 20,
+        };
+        r1.iterations[0] = IterationSpan {
+            iteration: 1,
+            start_ns: 2,
+            end_ns: 15,
+        };
+        let merged = merge_ranks(&[r0, r1]).unwrap();
+        assert_eq!(merged.iterations.len(), 1);
+        assert_eq!(merged.iterations[0].start_ns, 2);
+        assert_eq!(merged.iterations[0].end_ns, 20);
+    }
+
+    #[test]
+    fn open_spans_survive_merging() {
+        let mut r0 = rank_trace(1, vec![(1, 0, 0, 0, 10, 0)]);
+        r0.iterations[0].end_ns = u64::MAX;
+        let r1 = rank_trace(1, vec![(1, 0, 32, 0, 12, 0)]);
+        let merged = merge_ranks(&[r0, r1]).unwrap();
+        assert_eq!(merged.iterations[0].end_ns, 12);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let r0 = rank_trace(1, vec![(1, 0, 0, 0, 10, 0)]);
+        let mut r1 = rank_trace(1, vec![(1, 0, 32, 0, 10, 0)]);
+        r1.meta.tile_size = 8;
+        assert!(merge_ranks(&[r0, r1]).is_err());
+        assert!(merge_ranks(&[]).is_err());
+    }
+
+    #[test]
+    fn merged_trace_supports_all_analyses() {
+        let r0 = rank_trace(2, vec![(1, 0, 0, 0, 10, 0), (1, 16, 0, 1, 9, 1)]);
+        let r1 = rank_trace(2, vec![(1, 0, 32, 0, 8, 0), (1, 16, 32, 2, 11, 1)]);
+        let merged = merge_ranks(&[r0, r1]).unwrap();
+        let report = merged.to_report().unwrap();
+        let snap = report.tiling_snapshot(1);
+        assert_eq!(snap.computed_tiles(), 4);
+        // rank 1's tiles carry global worker ids 2 and 3
+        assert_eq!(snap.owner(0, 2), Some(2));
+        assert_eq!(snap.owner(1, 2), Some(3));
+    }
+}

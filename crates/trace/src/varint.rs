@@ -1,0 +1,147 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Trace files hold millions of timestamps and small coordinates, so the
+//! binary format stores every integer as an unsigned LEB128 varint:
+//! 7 payload bits per byte, high bit = continuation. Timestamps are
+//! additionally delta-encoded by the caller, which keeps most values in
+//! one or two bytes.
+
+use bytes::{Buf, BufMut};
+use ezp_core::error::{Error, Result};
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_LEN: usize = 10;
+
+/// Appends `value` to `out` as LEB128.
+pub fn write_u64(out: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 `u64` from `buf`.
+///
+/// Fails on truncated input and on encodings longer than [`MAX_LEN`]
+/// bytes (which cannot come from [`write_u64`]).
+pub fn read_u64(buf: &mut impl Buf) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for _ in 0..MAX_LEN {
+        if !buf.has_remaining() {
+            return Err(Error::TraceFormat("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        let payload = (byte & 0x7f) as u64;
+        if shift == 63 && payload > 1 {
+            return Err(Error::TraceFormat("varint overflows u64".into()));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(Error::TraceFormat("varint longer than 10 bytes".into()))
+}
+
+/// Convenience: `write_u64` for `usize`.
+pub fn write_usize(out: &mut impl BufMut, value: usize) {
+    write_u64(out, value as u64);
+}
+
+/// Convenience: `read_u64` narrowed to `usize`.
+pub fn read_usize(buf: &mut impl Buf) -> Result<usize> {
+    let v = read_u64(buf)?;
+    usize::try_from(v).map_err(|_| Error::TraceFormat(format!("value {v} exceeds usize")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut slice = buf.as_slice();
+        let got = read_u64(&mut slice).unwrap();
+        assert!(slice.is_empty(), "trailing bytes after decoding {v}");
+        got
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn boundaries() {
+        for v in [127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(round_trip(v), v);
+        }
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_LEN);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        let mut short = &buf[..1];
+        assert!(read_u64(&mut short).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(read_u64(&mut empty).is_err());
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        let bad = [0x80u8; 11];
+        let mut slice = &bad[..];
+        assert!(read_u64(&mut slice).is_err());
+        // 10 bytes but bits beyond u64
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x7f);
+        let mut slice = overflow.as_slice();
+        assert!(read_u64(&mut slice).is_err());
+    }
+
+    #[test]
+    fn usize_round_trip() {
+        let mut buf = Vec::new();
+        write_usize(&mut buf, 123_456);
+        let mut slice = buf.as_slice();
+        assert_eq!(read_usize(&mut slice).unwrap(), 123_456);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(v: u64) {
+            prop_assert_eq!(round_trip(v), v);
+        }
+
+        #[test]
+        fn prop_streams_concatenate(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                write_u64(&mut buf, v);
+            }
+            let mut slice = buf.as_slice();
+            for &v in &values {
+                prop_assert_eq!(read_u64(&mut slice).unwrap(), v);
+            }
+            prop_assert!(slice.is_empty());
+        }
+    }
+}

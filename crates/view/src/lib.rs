@@ -1,0 +1,31 @@
+//! # ezp-view — EASYVIEW: interactive trace exploration (paper §II-D)
+//!
+//! EASYVIEW's window has two halves: a per-CPU Gantt chart of tasks on
+//! the left, and a reduced view of the computed image on the right where
+//! tiles light up as the mouse moves over tasks. This crate reproduces
+//! the underlying queries and renders them to ASCII/SVG:
+//!
+//! * [`gantt`] — the Gantt model over a selectable iteration range, with
+//!   the two mouse modes: *vertical* (a time → the tasks crossing it →
+//!   their tiles highlighted) and *horizontal* (a CPU → its tasks);
+//! * [`coverage`] — the per-CPU "coverage map" (§II-D, §III-B): which
+//!   image areas a given CPU touched over an iteration range, the view
+//!   that exposes the locality of `nonmonotonic:dynamic`;
+//! * [`compare`] — two-trace comparison (Fig. 10): aligned Gantt charts,
+//!   per-iteration speedups, task-duration ratios (the ×10 inner-tile
+//!   observation);
+//! * [`patterns`] — the Fig. 8 analyzers: same-worker stripes and cyclic
+//!   distribution detection in tiling snapshots.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod coverage;
+pub mod gantt;
+pub mod patterns;
+pub mod stats;
+
+pub use compare::TraceComparison;
+pub use coverage::CoverageMap;
+pub use gantt::GanttModel;
+pub use stats::DurationStats;

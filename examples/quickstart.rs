@@ -1,0 +1,56 @@
+//! Quickstart: the paper's Fig. 1 / Fig. 2 workflow in five minutes.
+//!
+//! Runs the Mandelbrot kernel sequentially and tile-parallel, compares
+//! the timings, and dumps the final frame — the Rust equivalent of
+//!
+//! ```text
+//! easypap --kernel mandel --variant seq       --size 512
+//! easypap --kernel mandel --variant omp_tiled --size 512 --tile-size 16
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use easypap::core::kernel::NullProbe;
+use easypap::core::perf::run_kernel;
+use easypap::prelude::*;
+use std::sync::Arc;
+
+fn main() -> easypap::core::Result<()> {
+    let reg = easypap::kernels::registry();
+    let dim = 512;
+    let iterations = 3;
+
+    println!("== mandel, {dim}x{dim}, {iterations} iterations ==\n");
+
+    let mut reference_us = 0;
+    for variant in ["seq", "omp_tiled"] {
+        let cfg = RunConfig::new("mandel")
+            .variant(variant)
+            .size(dim)
+            .tile(16)
+            .iterations(iterations)
+            .schedule(Schedule::Dynamic(2));
+        let (outcome, ctx) = run_kernel(&reg, cfg, Arc::new(NullProbe))?;
+        let us = outcome.time_us();
+        if variant == "seq" {
+            reference_us = us;
+            println!("{variant:>10}: {}", outcome.summary());
+        } else {
+            println!(
+                "{variant:>10}: {}  (x{:.2} vs seq)",
+                outcome.summary(),
+                reference_us as f64 / us.max(1) as f64
+            );
+        }
+        // "this action brings a window on the screen" — here: a PPM file
+        let path = format!("mandel-{variant}.ppm");
+        std::fs::write(&path, ctx.images.cur().to_ppm())?;
+        println!("{:>10}  frame -> {path}", "");
+    }
+
+    println!("\nNext steps:");
+    println!("  cargo run --release --example mandel_schedules   # Fig. 4 & 6");
+    println!("  cargo run --release --example blur_optimize      # Fig. 9b & 10");
+    println!("  cargo run --release --example life_mpi           # Fig. 13");
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Property tests spanning kernels × scheduler × monitor: whatever the
+//! configuration, the monitoring data obeys the framework invariants.
+
+use easypap::core::kernel::Probe;
+use easypap::core::perf::run_kernel;
+use easypap::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    (0usize..5, 1usize..5).prop_map(|(which, k)| match which {
+        0 => Schedule::Static,
+        1 => Schedule::StaticChunk(k),
+        2 => Schedule::Dynamic(k),
+        3 => Schedule::Guided(k),
+        _ => Schedule::NonmonotonicDynamic(k),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any geometry/schedule/threads, a monitored mandel run records
+    /// exactly one task per tile per iteration, with sane timestamps and
+    /// worker ranks, and the tiling snapshot is complete.
+    #[test]
+    fn monitored_runs_are_complete_and_sane(
+        dim_tiles in 2usize..6,
+        tile in proptest::sample::select(vec![8usize, 12, 16]),
+        threads in 1usize..5,
+        iters in 1u32..4,
+        schedule in schedule_strategy(),
+    ) {
+        let dim = dim_tiles * tile;
+        let reg = easypap::kernels::registry();
+        let cfg = RunConfig::new("mandel")
+            .variant("omp_tiled")
+            .size(dim)
+            .tile(tile)
+            .iterations(iters)
+            .threads(threads)
+            .schedule(schedule);
+        let grid = cfg.grid().unwrap();
+        let monitor = Arc::new(Monitor::new(threads, grid));
+        run_kernel(&reg, cfg, monitor.clone() as Arc<dyn Probe>).unwrap();
+        let report = monitor.report();
+
+        prop_assert_eq!(report.iterations.len(), iters as usize);
+        prop_assert_eq!(report.records.len(), grid.len() * iters as usize);
+        for r in &report.records {
+            prop_assert!(r.worker < threads);
+            prop_assert!(r.end_ns >= r.start_ns);
+            prop_assert!((1..=iters).contains(&r.iteration));
+        }
+        for it in 1..=iters {
+            let snap = report.tiling_snapshot(it);
+            prop_assert_eq!(snap.computed_tiles(), grid.len());
+            let stats = report.iteration_stats(it).unwrap();
+            prop_assert_eq!(stats.tiles.iter().sum::<usize>(), grid.len());
+            // per-worker busy time never exceeds the iteration span by
+            // more than scheduling jitter (tasks are within the span)
+            for w in 0..threads {
+                prop_assert!(stats.load(w) <= 1.0);
+            }
+        }
+        // trace conversion + validation always succeeds
+        let trace = Trace::from_report(
+            TraceMeta {
+                kernel: "mandel".into(),
+                variant: "omp_tiled".into(),
+                dim,
+                tile_size: tile,
+                threads,
+                schedule: schedule.as_omp_str(),
+                label: "prop".into(),
+            },
+            &report,
+        );
+        prop_assert!(trace.validate().is_ok());
+        // binary round trip
+        let bytes = easypap::trace::io::to_bytes(&trace).unwrap();
+        prop_assert_eq!(easypap::trace::io::from_bytes(&bytes).unwrap(), trace);
+    }
+
+    /// Life variants agree with seq on random boards under any schedule.
+    #[test]
+    fn life_variants_agree_under_any_schedule(
+        seed in any::<u64>(),
+        schedule in schedule_strategy(),
+        threads in 1usize..4,
+    ) {
+        let reg = easypap::kernels::registry();
+        let run = |variant: &str, schedule: Schedule, threads: usize| {
+            let mut cfg = RunConfig::new("life")
+                .variant(variant)
+                .size(48)
+                .tile(16)
+                .iterations(4)
+                .threads(threads)
+                .schedule(schedule);
+            cfg.seed = seed;
+            cfg.kernel_arg = Some("random:0.3".into());
+            if variant == "mpi_omp" {
+                cfg.mpi_ranks = 2;
+            }
+            let (_, ctx) = run_kernel(&reg, cfg, Arc::new(easypap::core::kernel::NullProbe)).unwrap();
+            ctx.images.cur().as_slice().to_vec()
+        };
+        let reference = run("seq", Schedule::Static, 1);
+        prop_assert_eq!(run("omp_tiled", schedule, threads), reference.clone());
+        prop_assert_eq!(run("lazy", schedule, threads), reference.clone());
+        prop_assert_eq!(run("mpi_omp", schedule, threads), reference);
+    }
+
+    /// Simulated executions of arbitrary cost maps convert into valid,
+    /// analyzable traces whatever the policy.
+    #[test]
+    fn simulated_traces_are_always_valid(
+        seed in any::<u64>(),
+        threads in 1usize..8,
+        iters in 1u32..4,
+        schedule in schedule_strategy(),
+    ) {
+        let grid = TileGrid::square(64, 16).unwrap();
+        let mut state = seed;
+        let costs = CostMap::from_fn(grid, |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            1 + (state >> 33) % 1000
+        });
+        let sim = simulate_iterations(&costs, SimConfig::new(threads, schedule), iters);
+        let trace = sim.to_trace(&costs, "synthetic", "sim");
+        prop_assert!(trace.validate().is_ok());
+        prop_assert_eq!(trace.tasks.len(), grid.len() * iters as usize);
+        let report = trace.to_report().unwrap();
+        for it in 1..=iters {
+            prop_assert_eq!(report.tiling_snapshot(it).computed_tiles(), grid.len());
+        }
+        // speedup is bounded by thread count
+        prop_assert!(sim.speedup() <= threads as f64 + 1e-9);
+    }
+}

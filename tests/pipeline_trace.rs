@@ -1,0 +1,115 @@
+//! End-to-end pipeline: kernel → monitor → trace file → EASYVIEW.
+//!
+//! This is the paper's §II-D workflow as one integration test: run an
+//! instrumented kernel, record the trace, write it to disk, read it
+//! back, and drive every exploration feature on it.
+
+use easypap::core::kernel::Probe;
+use easypap::core::perf::run_kernel;
+use easypap::prelude::*;
+use std::sync::Arc;
+
+fn traced_run(kernel: &str, variant: &str, dim: usize, tile: usize, iters: u32) -> Trace {
+    let reg = easypap::kernels::registry();
+    let cfg = RunConfig::new(kernel)
+        .variant(variant)
+        .size(dim)
+        .tile(tile)
+        .iterations(iters)
+        .threads(2)
+        .schedule(Schedule::Dynamic(1));
+    let monitor = Arc::new(Monitor::new(cfg.threads, cfg.grid().unwrap()));
+    run_kernel(&reg, cfg.clone(), monitor.clone() as Arc<dyn Probe>).unwrap();
+    Trace::from_report(TraceMeta::from_config(&cfg), &monitor.report())
+}
+
+#[test]
+fn mandel_trace_survives_disk_and_feeds_easyview() {
+    let trace = traced_run("mandel", "omp_tiled", 64, 16, 3);
+    assert_eq!(trace.iteration_count(), 3);
+    assert_eq!(trace.tasks.len(), 3 * 16, "16 tiles per iteration");
+    trace.validate().unwrap();
+
+    // disk round trip
+    let path = std::env::temp_dir().join(format!("ezp_it_pipeline_{}.ezv", std::process::id()));
+    easypap::trace::io::save(&trace, &path).unwrap();
+    let loaded = easypap::trace::io::load(&path).unwrap();
+    assert_eq!(loaded, trace);
+    std::fs::remove_file(&path).unwrap();
+
+    // Gantt: every task is reachable through the vertical mouse mode
+    let gantt = GanttModel::new(&loaded, 1, 3);
+    assert_eq!(gantt.tasks().len(), 48);
+    for task in gantt.tasks() {
+        let mid = task.start_ns + task.duration_ns() / 2;
+        assert!(
+            gantt.tasks_at_time(mid).iter().any(|t| t.x == task.x && t.y == task.y),
+            "task at ({},{}) not found under the mouse",
+            task.x,
+            task.y
+        );
+        assert!(GanttModel::bubble(task).contains("tile"));
+    }
+
+    // horizontal mouse mode: coverage maps of both CPUs partition tiles
+    let cov0 = CoverageMap::new(&loaded, 0, 1, 1).unwrap();
+    let cov1 = CoverageMap::new(&loaded, 1, 1, 1).unwrap();
+    assert_eq!(cov0.covered_tiles() + cov1.covered_tiles(), 16);
+
+    // monitor analyses re-derived post mortem
+    let report = loaded.to_report().unwrap();
+    let stats = report.iteration_stats(2).unwrap();
+    assert_eq!(stats.tiles.iter().sum::<usize>(), 16);
+    assert!(stats.load(0) > 0.0 || stats.load(1) > 0.0);
+    let snap = report.tiling_snapshot(2);
+    assert_eq!(snap.computed_tiles(), 16);
+    let heat = report.heat_map(2);
+    assert!(heat.max_duration() > 0);
+}
+
+#[test]
+fn blur_comparison_pipeline_aligns_tasks_and_shows_border_cost() {
+    // NOTE: wall-clock *ratios across runs* are too noisy to assert in a
+    // shared 1-vCPU debug-build test environment; the timing-shape
+    // claims of Fig. 10 are asserted in the release-mode benches
+    // (`fig10_blur_compare`). Here we check the structural pipeline plus
+    // the noise-robust intra-trace signal of Fig. 9b: in the *optimized*
+    // trace, border tiles (still running checked code) cost more than
+    // the branch-free inner tiles.
+    let basic = traced_run("blur", "omp_tiled", 96, 16, 2);
+    let opt = traced_run("blur", "omp_tiled_opt", 96, 16, 2);
+    let cmp = TraceComparison::new(&basic, &opt).unwrap();
+    let speedups = cmp.task_speedups();
+    assert_eq!(speedups.len(), 2 * 36, "every task pair must be matched");
+    assert!(speedups.iter().all(|s| s.base_ns > 0));
+    assert!(cmp.per_iteration().len() == 2);
+
+    let heat = opt.to_report().unwrap().heat_map(2);
+    let ratio = heat
+        .border_inner_ratio()
+        .expect("6x6 grid has inner tiles");
+    assert!(
+        ratio > 1.0,
+        "optimized border tiles should out-cost inner tiles (got x{ratio:.2})"
+    );
+}
+
+#[test]
+fn gpu_profile_feeds_the_same_pipeline() {
+    use easypap::gpu::{NdRange, VirtualDevice};
+    let device = VirtualDevice::new(3);
+    let src: Img2D<Rgba> = Img2D::square(64);
+    let range = NdRange::square(64, 16);
+    let (_, profile) = device
+        .launch(range, &src, |x, y, _| Rgba((x * y) as u32))
+        .unwrap();
+    let grid = range.grid().unwrap();
+    let trace = profile.to_trace(&grid, "custom").unwrap();
+    let gantt = GanttModel::new(&trace, 1, 1);
+    assert_eq!(gantt.tasks().len(), 16);
+    // per-CU coverage maps cover the whole NDRange
+    let total: usize = (0..3)
+        .map(|cu| CoverageMap::new(&trace, cu, 1, 1).unwrap().covered_tiles())
+        .sum();
+    assert_eq!(total, 16);
+}

@@ -1,0 +1,146 @@
+//! Cross-variant consistency: for every kernel of the library, every
+//! parallel/distributed/GPU variant must produce the exact output of
+//! the sequential reference — the invariant that lets the paper's
+//! students "visually check if this new variant produces the expected
+//! output" (§II-A), promoted to a bit-exact assertion.
+
+use easypap::core::kernel::NullProbe;
+use easypap::core::perf::run_kernel;
+use easypap::prelude::*;
+use std::sync::Arc;
+
+/// Runs a kernel variant and returns the final image.
+fn final_image(
+    kernel: &str,
+    variant: &str,
+    dim: usize,
+    tile: usize,
+    iters: u32,
+    schedule: Schedule,
+) -> Vec<Rgba> {
+    let reg = easypap::kernels::registry();
+    let mut cfg = RunConfig::new(kernel)
+        .variant(variant)
+        .size(dim)
+        .tile(tile)
+        .iterations(iters)
+        .threads(3)
+        .schedule(schedule);
+    if variant == "mpi_omp" {
+        cfg.mpi_ranks = 2;
+    }
+    let (_, ctx) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
+    ctx.images.cur().as_slice().to_vec()
+}
+
+#[test]
+fn every_kernel_variant_matches_its_seq_reference() {
+    let cases: &[(&str, usize, u32)] = &[
+        ("mandel", 64, 2),
+        ("blur", 64, 2),
+        ("life", 64, 5),
+        ("ccomp", 64, 20),
+        // run to convergence: the async (Gauss-Seidel) variant only has
+        // to match seq at the stable fixed point (abelian property)
+        ("sandpile", 32, 5000),
+        ("heat", 48, 10),
+        ("rotate90", 48, 2),
+        ("scrollup", 48, 3),
+        ("transpose", 48, 1),
+        ("invert", 48, 1),
+        ("pixelize", 48, 1),
+        ("spin", 48, 2),
+    ];
+    let reg = easypap::kernels::registry();
+    for &(kernel, dim, iters) in cases {
+        let variants = reg.create(kernel).unwrap().variants();
+        let reference = final_image(kernel, "seq", dim, 16, iters, Schedule::Static);
+        for variant in variants {
+            if variant == "seq" {
+                continue;
+            }
+            let got = final_image(kernel, variant, dim, 16, iters, Schedule::Dynamic(1));
+            assert_eq!(
+                got, reference,
+                "{kernel}/{variant} diverged from {kernel}/seq"
+            );
+        }
+    }
+}
+
+#[test]
+fn schedules_never_change_results() {
+    // mandel's output must be schedule-independent (only the *timing*
+    // changes — that's the whole point of Fig. 4)
+    let reference = final_image("mandel", "omp_tiled", 64, 16, 2, Schedule::Static);
+    for schedule in [
+        Schedule::StaticChunk(3),
+        Schedule::Dynamic(2),
+        Schedule::Guided(1),
+        Schedule::NonmonotonicDynamic(1),
+    ] {
+        assert_eq!(
+            final_image("mandel", "omp_tiled", 64, 16, 2, schedule),
+            reference,
+            "schedule {schedule:?} changed the image"
+        );
+    }
+}
+
+#[test]
+fn tile_size_never_changes_results() {
+    // except pixelize, where the tile *is* the effect
+    for kernel in ["mandel", "blur", "life", "ccomp"] {
+        let reference = final_image(kernel, variants_of(kernel)[1], 60, 16, 3, Schedule::Dynamic(1));
+        for tile in [8, 12, 30, 60] {
+            assert_eq!(
+                final_image(kernel, variants_of(kernel)[1], 60, tile, 3, Schedule::Dynamic(1)),
+                reference,
+                "{kernel} changed output with tile size {tile}"
+            );
+        }
+    }
+}
+
+fn variants_of(kernel: &str) -> Vec<&'static str> {
+    easypap::kernels::registry().create(kernel).unwrap().variants()
+}
+
+#[test]
+fn convergence_is_variant_independent() {
+    let reg = easypap::kernels::registry();
+    // a still-life board converges at iteration 1 in every variant
+    for variant in ["seq", "omp_tiled", "lazy", "mpi_omp"] {
+        let mut cfg = RunConfig::new("life")
+            .variant(variant)
+            .size(32)
+            .tile(8)
+            .threads(2)
+            .iterations(10);
+        cfg.kernel_arg = Some("block".into());
+        if variant == "mpi_omp" {
+            cfg.mpi_ranks = 2;
+        }
+        let (outcome, _) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
+        assert_eq!(outcome.converged_at, Some(1), "life/{variant}");
+        assert_eq!(outcome.completed_iterations, 1);
+    }
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    for threads in [1, 2, 5, 8] {
+        let reg = easypap::kernels::registry();
+        let cfg = RunConfig::new("blur")
+            .variant("omp_tiled_opt")
+            .size(64)
+            .tile(16)
+            .iterations(2)
+            .threads(threads)
+            .schedule(Schedule::NonmonotonicDynamic(1));
+        let (_, ctx) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
+        let got = ctx.images.cur().as_slice().to_vec();
+        let reference = final_image("blur", "seq", 64, 16, 2, Schedule::Static);
+        assert_eq!(got, reference, "blur changed output with {threads} threads");
+    }
+}
