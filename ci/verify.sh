@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + tests, entirely offline.
+#
+# The workspace must build and pass its test suite without touching a
+# cargo registry. A grep guard keeps it that way: if any manifest
+# reintroduces one of the dependencies this repo replaced with in-tree
+# substitutes (see "Hermetic build & testkit" in DESIGN.md), verification
+# fails before wasting time on a build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+banned='^(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde)'
+if grep -rE "$banned" crates/*/Cargo.toml Cargo.toml; then
+    echo "error: registry dependency reintroduced (see matches above)." >&2
+    echo "Use the in-tree substitutes: ezp-testkit (rng/proptest/bench)," >&2
+    echo "std::sync, std::sync::mpsc, Vec<u8>, ezp-core::json." >&2
+    exit 1
+fi
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo build --benches --offline
+
+echo "verify: OK (offline build + tests green, no registry deps)"

@@ -1,73 +1,62 @@
-//! Criterion microbenches over the kernel library: sequential vs
-//! parallel variants of the three kernels the paper's assignments
-//! revolve around (mandel, blur, life). Absolute numbers depend on the
-//! host; the interesting outputs are the *ratios* (blur basic vs
-//! optimized — the Fig. 10 factor — and lazy vs eager life).
+//! Microbenches over the kernel library: sequential vs parallel variants
+//! of the three kernels the paper's assignments revolve around (mandel,
+//! blur, life). Absolute numbers depend on the host; the interesting
+//! outputs are the *ratios* (blur basic vs optimized — the Fig. 10
+//! factor — and lazy vs eager life).
+//!
+//! Run with `cargo bench -p ezp-bench --bench kernels`. Set
+//! `EZP_BENCH_CSV=path` to append the results as CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezp_core::kernel::NullProbe;
 use ezp_core::perf::run_kernel;
 use ezp_core::{RunConfig, Schedule};
+use ezp_testkit::{Bench, BenchSet};
 use std::sync::Arc;
 
-fn bench_variants(c: &mut Criterion, kernel: &str, variants: &[&str], dim: usize, iters: u32) {
+fn bench_variants(set: &mut BenchSet, kernel: &str, variants: &[&str], dim: usize, iters: u32) {
     let reg = ezp_kernels::registry();
-    let mut group = c.benchmark_group(kernel);
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
     for &variant in variants {
-        group.bench_with_input(BenchmarkId::from_parameter(variant), &variant, |b, &v| {
-            b.iter(|| {
-                let cfg = RunConfig::new(kernel)
-                    .variant(v)
-                    .size(dim)
-                    .tile(32)
-                    .iterations(iters)
-                    .threads(2)
-                    .schedule(Schedule::Dynamic(2));
-                let (outcome, _) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
-                std::hint::black_box(outcome.elapsed_ns)
-            })
+        set.bench(kernel, variant, || {
+            let cfg = RunConfig::new(kernel)
+                .variant(variant)
+                .size(dim)
+                .tile(32)
+                .iterations(iters)
+                .threads(2)
+                .schedule(Schedule::Dynamic(2));
+            let (outcome, _) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
+            outcome.elapsed_ns
         });
     }
-    group.finish();
 }
 
-fn mandel(c: &mut Criterion) {
-    bench_variants(c, "mandel", &["seq", "tiled", "omp_tiled"], 256, 1);
-}
-
-fn blur(c: &mut Criterion) {
-    // the Fig. 10 pair: branchy vs border-specialized
-    bench_variants(c, "blur", &["seq", "omp_tiled", "omp_tiled_opt"], 256, 2);
-}
-
-fn life(c: &mut Criterion) {
+fn bench_life(set: &mut BenchSet) {
     let reg = ezp_kernels::registry();
-    let mut group = c.benchmark_group("life");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
     // sparse board: lazy evaluation should shine (§III-E)
     for variant in ["seq", "omp_tiled", "lazy"] {
-        group.bench_with_input(BenchmarkId::from_parameter(variant), &variant, |b, &v| {
-            b.iter(|| {
-                let mut cfg = RunConfig::new("life")
-                    .variant(v)
-                    .size(256)
-                    .tile(32)
-                    .iterations(8)
-                    .threads(2)
-                    .schedule(Schedule::Dynamic(1));
-                cfg.kernel_arg = Some("gliders:64".into());
-                let (outcome, _) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
-                std::hint::black_box(outcome.elapsed_ns)
-            })
+        set.bench("life", variant, || {
+            let mut cfg = RunConfig::new("life")
+                .variant(variant)
+                .size(256)
+                .tile(32)
+                .iterations(8)
+                .threads(2)
+                .schedule(Schedule::Dynamic(1));
+            cfg.kernel_arg = Some("gliders:64".into());
+            let (outcome, _) = run_kernel(&reg, cfg, Arc::new(NullProbe)).unwrap();
+            outcome.elapsed_ns
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, mandel, blur, life);
-criterion_main!(benches);
+fn main() {
+    let mut set = BenchSet::with_config(Bench::new().warmup(2).samples(10));
+    bench_variants(&mut set, "mandel", &["seq", "tiled", "omp_tiled"], 256, 1);
+    // the Fig. 10 pair: branchy vs border-specialized
+    bench_variants(&mut set, "blur", &["seq", "omp_tiled", "omp_tiled_opt"], 256, 2);
+    bench_life(&mut set);
+    print!("{}", set.table());
+    if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
+        set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+}

@@ -1,17 +1,16 @@
-//! Criterion microbenches of the scheduling substrate: per-chunk
-//! dispensing cost of every policy, parallel-region launch latency, and
-//! task-graph throughput — the overheads the simulator's
-//! `dispatch_overhead_ns` parameter models.
+//! Microbenches of the scheduling substrate: per-chunk dispensing cost
+//! of every policy, parallel-region launch latency, and task-graph
+//! throughput — the overheads the simulator's `dispatch_overhead_ns`
+//! parameter models.
+//!
+//! Run with `cargo bench -p ezp-bench --bench sched`. Set
+//! `EZP_BENCH_CSV=path` to append the results as CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezp_core::{Schedule, TileGrid};
 use ezp_sched::{dispenser_for, TaskGraph, WorkerPool};
+use ezp_testkit::{Bench, BenchSet};
 
-fn dispensers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dispenser_drain");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn dispensers(set: &mut BenchSet) {
     let n = 4096;
     for schedule in [
         Schedule::Static,
@@ -21,73 +20,58 @@ fn dispensers(c: &mut Criterion) {
         Schedule::Guided(1),
         Schedule::NonmonotonicDynamic(1),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(schedule.as_omp_str()),
-            &schedule,
-            |b, &s| {
-                b.iter(|| {
-                    // single-rank drain isolates the per-chunk cost
-                    let d = dispenser_for(s, n, 4);
-                    let mut total = 0usize;
-                    for rank in 0..4 {
-                        while let Some((_, len)) = d.next(rank) {
-                            total += len;
-                        }
-                    }
-                    assert_eq!(total, n);
-                    std::hint::black_box(total)
-                })
-            },
-        );
+        set.bench("dispenser_drain", &schedule.as_omp_str(), || {
+            // single-rank drain isolates the per-chunk cost
+            let d = dispenser_for(schedule, n, 4);
+            let mut total = 0usize;
+            for rank in 0..4 {
+                while let Some((_, len)) = d.next(rank) {
+                    total += len;
+                }
+            }
+            assert_eq!(total, n);
+            total
+        });
     }
-    group.finish();
 }
 
-fn parallel_region(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pool");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn parallel_region(set: &mut BenchSet) {
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("empty_region", threads),
-            &threads,
-            |b, &t| {
-                let mut pool = WorkerPool::new(t);
-                b.iter(|| pool.run(|rank| { std::hint::black_box(rank); }))
-            },
-        );
+        let mut pool = WorkerPool::new(threads);
+        set.bench("pool_empty_region", &threads.to_string(), || {
+            pool.run(|rank| {
+                std::hint::black_box(rank);
+            })
+        });
     }
-    group.finish();
 }
 
-fn task_graph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("taskgraph");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn task_graph(set: &mut BenchSet) {
     let grid = TileGrid::square(256, 16).unwrap(); // 16x16 = 256 tasks
-    group.bench_function("wavefront_256_tasks", |b| {
-        let mut pool = WorkerPool::new(2);
-        b.iter(|| {
-            let g = TaskGraph::down_right_wavefront(&grid);
-            g.run(&mut pool, |t, _| {
-                std::hint::black_box(t);
-            })
-            .unwrap()
+    let mut pool = WorkerPool::new(2);
+    set.bench("taskgraph", "wavefront_256_tasks", || {
+        let g = TaskGraph::down_right_wavefront(&grid);
+        g.run(&mut pool, |t, _| {
+            std::hint::black_box(t);
         })
+        .unwrap()
     });
-    group.bench_function("wavefront_seq_baseline", |b| {
-        b.iter(|| {
-            let g = TaskGraph::down_right_wavefront(&grid);
-            g.run_seq(|t| {
-                std::hint::black_box(t);
-            })
-            .unwrap()
+    set.bench("taskgraph", "wavefront_seq_baseline", || {
+        let g = TaskGraph::down_right_wavefront(&grid);
+        g.run_seq(|t| {
+            std::hint::black_box(t);
         })
+        .unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, dispensers, parallel_region, task_graph);
-criterion_main!(benches);
+fn main() {
+    let mut set = BenchSet::with_config(Bench::new().warmup(3).samples(20));
+    dispensers(&mut set);
+    parallel_region(&mut set);
+    task_graph(&mut set);
+    print!("{}", set.table());
+    if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
+        set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+}

@@ -1,11 +1,14 @@
-//! Criterion microbenches of the trace format: encode/decode throughput
-//! and the simulator that generates figure-scale traces. Keeping trace
-//! I/O cheap is what makes `--trace` usable in lab sessions.
+//! Microbenches of the trace format: encode/decode throughput and the
+//! simulator that generates figure-scale traces. Keeping trace I/O cheap
+//! is what makes `--trace` usable in lab sessions.
+//!
+//! Run with `cargo bench -p ezp-bench --bench trace_io`. Set
+//! `EZP_BENCH_CSV=path` to append the results as CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ezp_bench::mandel_cost_map;
 use ezp_core::Schedule;
 use ezp_simsched::{simulate_iterations, SimConfig};
+use ezp_testkit::{Bench, BenchSet};
 use ezp_trace::io;
 
 fn make_trace(iterations: u32) -> ezp_trace::Trace {
@@ -14,48 +17,36 @@ fn make_trace(iterations: u32) -> ezp_trace::Trace {
     sim.to_trace(&costs, "mandel", "omp_tiled")
 }
 
-fn encode_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_io");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn encode_decode(set: &mut BenchSet) {
     for iters in [1u32, 8] {
         let trace = make_trace(iters);
         let bytes = io::to_bytes(&trace).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("encode_tasks", trace.tasks.len()),
-            &trace,
-            |b, t| b.iter(|| std::hint::black_box(io::to_bytes(t).unwrap().len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decode_tasks", trace.tasks.len()),
-            &bytes,
-            |b, bs| b.iter(|| std::hint::black_box(io::from_bytes(bs).unwrap().tasks.len())),
-        );
+        let tasks = trace.tasks.len().to_string();
+        set.bench("trace_encode_tasks", &tasks, || {
+            io::to_bytes(&trace).unwrap().len()
+        });
+        set.bench("trace_decode_tasks", &tasks, || {
+            io::from_bytes(&bytes).unwrap().tasks.len()
+        });
     }
-    group.finish();
 }
 
-fn simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simsched");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn simulator(set: &mut BenchSet) {
     let costs = mandel_cost_map(1024, 16, 256); // Fig. 6 panel scale
     for schedule in [Schedule::Static, Schedule::Dynamic(2), Schedule::NonmonotonicDynamic(1)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(schedule.as_omp_str()),
-            &schedule,
-            |b, &s| {
-                b.iter(|| {
-                    let sim = simulate_iterations(&costs, SimConfig::new(12, s), 1);
-                    std::hint::black_box(sim.makespan_ns)
-                })
-            },
-        );
+        set.bench("simsched", &schedule.as_omp_str(), || {
+            let sim = simulate_iterations(&costs, SimConfig::new(12, schedule), 1);
+            sim.makespan_ns
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, encode_decode, simulator);
-criterion_main!(benches);
+fn main() {
+    let mut set = BenchSet::with_config(Bench::new().warmup(2).samples(10));
+    encode_decode(&mut set);
+    simulator(&mut set);
+    print!("{}", set.table());
+    if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
+        set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+}

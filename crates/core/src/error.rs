@@ -21,6 +21,8 @@ pub enum Error {
     Geometry(String),
     /// Trace file is corrupt, truncated or has an unsupported version.
     TraceFormat(String),
+    /// JSON text could not be parsed or mapped onto the expected shape.
+    Json(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A worker thread panicked during a parallel section.
@@ -38,6 +40,7 @@ impl fmt::Display for Error {
             }
             Error::Geometry(msg) => write!(f, "geometry error: {msg}"),
             Error::TraceFormat(msg) => write!(f, "trace format error: {msg}"),
+            Error::Json(msg) => write!(f, "JSON error: {msg}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
             Error::Mpi(msg) => write!(f, "MPI simulation error: {msg}"),
@@ -76,6 +79,7 @@ mod tests {
         assert!(Error::Config("bad".into()).to_string().contains("bad"));
         assert!(Error::Geometry("g".into()).to_string().contains("g"));
         assert!(Error::TraceFormat("t".into()).to_string().contains("t"));
+        assert!(Error::Json("brace".into()).to_string().contains("brace"));
         assert!(Error::Mpi("rank".into()).to_string().contains("rank"));
     }
 

@@ -22,6 +22,7 @@ pub mod csv;
 pub mod error;
 pub mod grid;
 pub mod img;
+pub mod json;
 pub mod kernel;
 pub mod params;
 pub mod perf;

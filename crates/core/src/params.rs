@@ -11,7 +11,6 @@
 
 use crate::error::{Error, Result};
 use crate::{DEFAULT_DIM, DEFAULT_TILE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// An OpenMP-style loop scheduling policy (paper Fig. 4).
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// below `k`; `NonmonotonicDynamic` models the OpenMP 5
 /// `nonmonotonic:dynamic` behaviour the paper highlights — an initial
 /// static distribution corrected by work stealing.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Schedule {
     /// Contiguous blocks, one per thread (`schedule(static)`).
     #[default]
@@ -99,7 +98,7 @@ impl std::fmt::Display for Schedule {
 
 /// How much graphical/monitoring output the run produces — the
 /// `--no-display` / default / `--monitoring` trio from §II.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DisplayMode {
     /// `--no-display`: silent performance mode (§II-C).
     None,
@@ -111,7 +110,7 @@ pub enum DisplayMode {
 
 /// Fully parsed run configuration — the Rust face of the `easypap`
 /// command line plus the OpenMP ICVs (`OMP_NUM_THREADS`, `OMP_SCHEDULE`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunConfig {
     /// `--kernel` (default `none` is not allowed at run time).
     pub kernel: String,

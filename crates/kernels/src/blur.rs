@@ -183,7 +183,7 @@ impl Kernel for Blur {
 mod tests {
     use super::*;
     use ezp_core::{RunConfig, Schedule, TileGrid};
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
 
     fn run(variant: &str, dim: usize, tile: usize, iters: u32) -> Vec<Rgba> {
         let mut k = Blur;
@@ -293,15 +293,15 @@ mod tests {
         assert_eq!(run("omp_tiled_opt", 30, 8, 1), seq);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-        #[test]
+    ezp_proptest! {
+        #![cases(12)]
+
         fn prop_variants_agree(dim_pow in 3usize..6, tile in 4usize..16, iters in 1u32..4) {
             let dim = 1 << dim_pow; // 8..32
             let tile = tile.min(dim);
             let seq = run("seq", dim, tile, iters);
-            prop_assert_eq!(run("omp_tiled", dim, tile, iters), seq.clone());
-            prop_assert_eq!(run("omp_tiled_opt", dim, tile, iters), seq);
+            assert_eq!(run("omp_tiled", dim, tile, iters), seq.clone());
+            assert_eq!(run("omp_tiled_opt", dim, tile, iters), seq);
         }
     }
 }

@@ -329,13 +329,13 @@ fn step_word(src: &BitBoard, y: usize, wx: usize) -> u64 {
 mod tests {
     use super::*;
     use ezp_core::TileGrid;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::any_u64;
+    use ezp_testkit::Rng;
 
     fn random_board(dim: usize, density: f64, seed: u64) -> BitBoard {
         let b = BitBoard::square(dim);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed(seed);
         for y in 0..dim {
             for x in 0..dim {
                 if rng.gen_bool(density) {
@@ -524,26 +524,25 @@ mod tests {
         assert!(!next.get(1, 1));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
+    ezp_proptest! {
+        #![cases(24)]
+
         fn prop_word_path_equals_reference(
             dim in 3usize..80,
             density in 0.05f64..0.6,
-            seed in any::<u64>(),
+            seed in any_u64(),
         ) {
             let src = random_board(dim, density, seed);
             let fast = BitBoard::square(dim);
             fast.step_rows_from(&src, 0, dim);
-            prop_assert_eq!(&fast, &reference_step(&src));
+            assert_eq!(&fast, &reference_step(&src));
         }
 
-        #[test]
         fn prop_tile_path_equals_reference(
             dim in 3usize..70,
             tile in 1usize..40,
             density in 0.05f64..0.6,
-            seed in any::<u64>(),
+            seed in any_u64(),
         ) {
             let tile = tile.min(dim);
             let src = random_board(dim, density, seed);
@@ -552,7 +551,7 @@ mod tests {
             for t in grid.iter() {
                 out.step_tile_from(&src, t);
             }
-            prop_assert_eq!(&out, &reference_step(&src));
+            assert_eq!(&out, &reference_step(&src));
         }
     }
 }

@@ -25,8 +25,7 @@ use ezp_core::{Kernel, KernelCtx, Rgba, TileGrid};
 use ezp_monitor::{Monitor, MonitorReport};
 use ezp_mpi::{collective, ghost, BlockRows};
 use ezp_sched::{parallel_for_range, WorkerPool};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ezp_testkit::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Color of live cells in the refreshed image.
@@ -87,7 +86,7 @@ impl Life {
                         .map_err(|_| Error::Config(format!("life: bad density `{p}`")))?,
                     None => 0.25,
                 };
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed(seed);
                 for y in 0..dim {
                     for x in 0..dim {
                         if rng.gen_bool(density.clamp(0.0, 1.0)) {
@@ -472,6 +471,47 @@ mod tests {
         k.init(&mut c).unwrap();
         let conv = k.compute(&mut c, variant, iters).unwrap();
         (k, conv)
+    }
+
+    /// Pins the PRNG-dependent `random` seeding: with the default seed
+    /// (42), the first 16 live cells in row-major order must stay exactly
+    /// here. If this test fails, the in-repo PRNG (or the seeding loop)
+    /// changed and every recorded "random" run stops being reproducible.
+    #[test]
+    fn random_seeding_first_cells_are_pinned() {
+        let mut k = Life::default();
+        let mut c = make_ctx(64, 16, "random:0.3", 1, 1);
+        k.init(&mut c).unwrap();
+        let mut first = Vec::new();
+        'scan: for y in 0..64 {
+            for x in 0..64 {
+                if k.board().get(x, y) {
+                    first.push((x, y));
+                    if first.len() == 16 {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        let expected = vec![
+            (6, 0),
+            (8, 0),
+            (13, 0),
+            (16, 0),
+            (17, 0),
+            (20, 0),
+            (25, 0),
+            (30, 0),
+            (33, 0),
+            (41, 0),
+            (44, 0),
+            (49, 0),
+            (55, 0),
+            (57, 0),
+            (59, 0),
+            (4, 1),
+        ];
+        assert_eq!(first, expected);
     }
 
     #[test]

@@ -4,16 +4,16 @@
 //! `end_tile` around every tile, so collection must not serialize them.
 //! Each worker gets its own cache-line-padded slot holding the open-tile
 //! timestamp and a private record buffer; the only synchronization is a
-//! per-worker (hence uncontended) `parking_lot::Mutex` that makes the
-//! final harvest safe.
+//! per-worker (hence uncontended) `Mutex` that makes the final harvest
+//! safe.
 
 use crate::record::TileRecord;
 use crate::report::{IterationSpan, MonitorReport};
 use ezp_core::kernel::Probe;
 use ezp_core::time::now_ns;
 use ezp_core::{TileGrid, WorkerId};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Pads a worker slot to its own cache line to avoid false sharing, the
 /// classic pitfall the guides (and Chapter 7 of *Rust Atomics and Locks*)
@@ -65,10 +65,10 @@ impl Monitor {
     pub fn report(&self) -> MonitorReport {
         let mut records: Vec<TileRecord> = Vec::new();
         for slot in &self.slots {
-            records.extend(slot.records.lock().iter().copied());
+            records.extend(slot.records.lock().unwrap().iter().copied());
         }
         records.sort_by_key(|r| (r.iteration, r.start_ns));
-        let mut iterations = self.iterations.lock().clone();
+        let mut iterations = self.iterations.lock().unwrap().clone();
         // close a still-open iteration so that live snapshots work
         if let Some(last) = iterations.last_mut() {
             if last.end_ns == u64::MAX {
@@ -92,7 +92,7 @@ impl Monitor {
 impl Probe for Monitor {
     fn iteration_start(&self, iteration: u32) {
         self.current_iteration.store(iteration, Ordering::Release);
-        self.iterations.lock().push(IterationSpan {
+        self.iterations.lock().unwrap().push(IterationSpan {
             iteration,
             start_ns: now_ns(),
             end_ns: u64::MAX,
@@ -100,7 +100,7 @@ impl Probe for Monitor {
     }
 
     fn iteration_end(&self, iteration: u32) {
-        let mut spans = self.iterations.lock();
+        let mut spans = self.iterations.lock().unwrap();
         if let Some(span) = spans.iter_mut().rev().find(|s| s.iteration == iteration) {
             span.end_ns = now_ns();
         }
@@ -117,7 +117,7 @@ impl Probe for Monitor {
         // An end without a start is an instrumentation bug in the kernel;
         // record a zero-length task rather than poisoning the run.
         let start = if start == u64::MAX { end } else { start };
-        slot.records.lock().push(TileRecord {
+        slot.records.lock().unwrap().push(TileRecord {
             iteration: self.current_iteration.load(Ordering::Acquire),
             x,
             y,

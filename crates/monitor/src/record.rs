@@ -1,12 +1,12 @@
 //! The unit of monitoring data: one computed tile.
 
+use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_core::WorkerId;
-use serde::{Deserialize, Serialize};
 
 /// One `monitoring_start_tile` / `monitoring_end_tile` bracket: a tile
 /// computed by one worker during one iteration, with wall-clock
 /// timestamps (nanoseconds since the process origin).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TileRecord {
     /// Iteration during which the tile was computed (1-based, like the
     /// paper's `for (it = 1; it <= nb_iter; it++)` loop).
@@ -46,6 +46,36 @@ impl TileRecord {
     #[inline]
     pub fn pixels(&self) -> usize {
         self.w * self.h
+    }
+}
+
+impl ToJson for TileRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("iteration", self.iteration.to_json()),
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+            ("w", self.w.to_json()),
+            ("h", self.h.to_json()),
+            ("start_ns", self.start_ns.to_json()),
+            ("end_ns", self.end_ns.to_json()),
+            ("worker", self.worker.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TileRecord {
+    fn from_json(v: &Json) -> ezp_core::Result<Self> {
+        Ok(TileRecord {
+            iteration: v.field("iteration")?,
+            x: v.field("x")?,
+            y: v.field("y")?,
+            w: v.field("w")?,
+            h: v.field("h")?,
+            start_ns: v.field("start_ns")?,
+            end_ns: v.field("end_ns")?,
+            worker: v.field("worker")?,
+        })
     }
 }
 

@@ -3,11 +3,11 @@
 
 use crate::record::TileRecord;
 use crate::tiling::{HeatMap, TilingSnapshot};
+use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_core::TileGrid;
-use serde::{Deserialize, Serialize};
 
 /// Wall-clock span of one iteration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IterationSpan {
     /// Iteration number (1-based).
     pub iteration: u32,
@@ -24,10 +24,32 @@ impl IterationSpan {
     }
 }
 
+impl ToJson for IterationSpan {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("iteration", self.iteration.to_json()),
+            ("start_ns", self.start_ns.to_json()),
+            // end_ns may be the u64::MAX "still open" sentinel; the exact
+            // integer representation in ezp-core::json preserves it.
+            ("end_ns", self.end_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IterationSpan {
+    fn from_json(v: &Json) -> ezp_core::Result<Self> {
+        Ok(IterationSpan {
+            iteration: v.field("iteration")?,
+            start_ns: v.field("start_ns")?,
+            end_ns: v.field("end_ns")?,
+        })
+    }
+}
+
 /// Per-CPU activity during one iteration: the Activity Monitor's
 /// "percentage representing the amount of time spent in computations
 /// over the duration of the iteration" (§II-B).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IterationStats {
     /// The iteration this describes.
     pub span: IterationSpan,

@@ -7,8 +7,7 @@
 
 use crate::comm::{Comm, Tag};
 use ezp_core::error::Result;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use ezp_core::json::{FromJson, ToJson};
 
 /// Tags reserved by the collectives (top of the tag space).
 const TAG_BCAST: Tag = u32::MAX - 1;
@@ -19,7 +18,7 @@ const TAG_SCATTER: Tag = u32::MAX - 5;
 
 /// Broadcasts `value` from `root` to every rank; each rank returns the
 /// broadcast value (`MPI_Bcast`).
-pub fn broadcast<T: Serialize + DeserializeOwned + Clone>(
+pub fn broadcast<T: ToJson + FromJson + Clone>(
     comm: &Comm,
     root: usize,
     value: Option<T>,
@@ -39,7 +38,7 @@ pub fn broadcast<T: Serialize + DeserializeOwned + Clone>(
 
 /// Gathers one value per rank at `root` (`MPI_Gather`); returns
 /// `Some(values)` (indexed by rank) at root, `None` elsewhere.
-pub fn gather<T: Serialize + DeserializeOwned>(
+pub fn gather<T: ToJson + FromJson>(
     comm: &Comm,
     root: usize,
     value: &T,
@@ -48,10 +47,7 @@ pub fn gather<T: Serialize + DeserializeOwned>(
         // receive from each rank *by source*: taking "any" message here
         // could steal a later collective's payload from a fast rank
         let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
-        out[root] = Some(
-            serde_json::from_slice(&serde_json::to_vec(value).unwrap())
-                .expect("self round-trip cannot fail"),
-        );
+        out[root] = Some(T::from_json(&value.to_json()).expect("self round-trip cannot fail"));
         for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
                 *slot = Some(comm.recv(src, TAG_GATHER)?);
@@ -66,7 +62,7 @@ pub fn gather<T: Serialize + DeserializeOwned>(
 
 /// Scatters one value per rank from `root` (`MPI_Scatter`): rank `i`
 /// receives `values[i]`. Only the root provides `values`.
-pub fn scatter<T: Serialize + DeserializeOwned>(
+pub fn scatter<T: ToJson + FromJson>(
     comm: &Comm,
     root: usize,
     values: Option<Vec<T>>,
@@ -92,7 +88,7 @@ pub fn scatter<T: Serialize + DeserializeOwned>(
 /// `None` elsewhere.
 pub fn reduce<T, F>(comm: &Comm, root: usize, value: T, combine: F) -> Result<Option<T>>
 where
-    T: Serialize + DeserializeOwned,
+    T: ToJson + FromJson,
     F: Fn(T, T) -> T,
 {
     if comm.rank() == root {
@@ -117,7 +113,7 @@ where
 /// contributions. Root-gather + broadcast.
 pub fn allreduce<T, F>(comm: &Comm, value: T, combine: F) -> Result<T>
 where
-    T: Serialize + DeserializeOwned + Clone,
+    T: ToJson + FromJson + Clone,
     F: Fn(T, T) -> T,
 {
     const ROOT: usize = 0;
@@ -147,12 +143,12 @@ pub fn allreduce_sum(comm: &Comm, value: u64) -> Result<u64> {
 
 /// Personalized all-to-all (`MPI_Alltoall`): rank `i` sends
 /// `values[j]` to rank `j` and returns what every rank sent to `i`.
-pub fn alltoall<T: Serialize + DeserializeOwned>(comm: &Comm, values: Vec<T>) -> Result<Vec<T>> {
+pub fn alltoall<T: ToJson + FromJson>(comm: &Comm, values: Vec<T>) -> Result<Vec<T>> {
     assert_eq!(values.len(), comm.size(), "one value per destination");
     let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
     for (dst, v) in values.iter().enumerate() {
         if dst == comm.rank() {
-            out[dst] = Some(serde_json::from_slice(&serde_json::to_vec(v).unwrap()).unwrap());
+            out[dst] = Some(T::from_json(&v.to_json()).unwrap());
         } else {
             comm.send(dst, TAG_ALLTOALL, v)?;
         }

@@ -7,11 +7,10 @@
 //! the property the Game-of-Life variant relies on when it exchanges
 //! ghost rows and tile-state metadata separately.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ezp_core::error::{Error, Result};
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use ezp_core::json::{FromJson, Json, ToJson};
 use std::cell::RefCell;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// Message tag, like MPI's. Use distinct tags for logically distinct
@@ -52,15 +51,14 @@ impl Comm {
     }
 
     /// Sends `value` to `dst` under `tag`. Never blocks (buffered mode).
-    pub fn send<T: Serialize>(&self, dst: usize, tag: Tag, value: &T) -> Result<()> {
+    pub fn send<T: ToJson>(&self, dst: usize, tag: Tag, value: &T) -> Result<()> {
         if dst >= self.size {
             return Err(Error::Mpi(format!(
                 "send to rank {dst} out of range (size {})",
                 self.size
             )));
         }
-        let payload = serde_json::to_vec(value)
-            .map_err(|e| Error::Mpi(format!("serialization failed: {e}")))?;
+        let payload = value.to_json().dump().into_bytes();
         self.senders[dst]
             .send(Message {
                 src: self.rank,
@@ -72,18 +70,18 @@ impl Comm {
 
     /// Receives the next message from `src` with `tag`, blocking until it
     /// arrives. Other messages received meanwhile are buffered.
-    pub fn recv<T: DeserializeOwned>(&self, src: usize, tag: Tag) -> Result<T> {
+    pub fn recv<T: FromJson>(&self, src: usize, tag: Tag) -> Result<T> {
         let (_, value) = self.recv_match(|m| m.src == src && m.tag == tag)?;
         Ok(value)
     }
 
     /// Receives the next message with `tag` from any source; returns
     /// `(src, value)`.
-    pub fn recv_any<T: DeserializeOwned>(&self, tag: Tag) -> Result<(usize, T)> {
+    pub fn recv_any<T: FromJson>(&self, tag: Tag) -> Result<(usize, T)> {
         self.recv_match(|m| m.tag == tag)
     }
 
-    fn recv_match<T: DeserializeOwned>(
+    fn recv_match<T: FromJson>(
         &self,
         matches: impl Fn(&Message) -> bool,
     ) -> Result<(usize, T)> {
@@ -110,7 +108,7 @@ impl Comm {
     /// Simultaneous send+receive with the same peer — the deadlock-free
     /// idiom of ghost exchange (`MPI_Sendrecv`). With buffered sends this
     /// is simply a send followed by a receive.
-    pub fn sendrecv<T: Serialize, U: DeserializeOwned>(
+    pub fn sendrecv<T: ToJson, U: FromJson>(
         &self,
         dst: usize,
         send_tag: Tag,
@@ -128,9 +126,17 @@ impl Comm {
     }
 }
 
-fn decode<T: DeserializeOwned>(m: Message) -> Result<(usize, T)> {
-    let value = serde_json::from_slice(&m.payload)
-        .map_err(|e| Error::Mpi(format!("deserialization failed (src {}, tag {}): {e}", m.src, m.tag)))?;
+fn decode<T: FromJson>(m: Message) -> Result<(usize, T)> {
+    let value = std::str::from_utf8(&m.payload)
+        .map_err(|e| Error::Mpi(format!("payload is not UTF-8 (src {}, tag {}): {e}", m.src, m.tag)))
+        .and_then(|text| {
+            Json::parse(text).and_then(|v| T::from_json(&v)).map_err(|e| {
+                Error::Mpi(format!(
+                    "deserialization failed (src {}, tag {}): {e}",
+                    m.src, m.tag
+                ))
+            })
+        })?;
     Ok((m.src, value))
 }
 
@@ -151,7 +157,7 @@ where
     let mut senders = Vec::with_capacity(np);
     let mut receivers = Vec::with_capacity(np);
     for _ in 0..np {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -290,10 +296,23 @@ mod tests {
 
     #[test]
     fn structured_payloads() {
-        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        #[derive(PartialEq, Debug)]
         struct Ghost {
             row: Vec<u32>,
             steady: bool,
+        }
+        impl ToJson for Ghost {
+            fn to_json(&self) -> Json {
+                Json::obj([("row", self.row.to_json()), ("steady", self.steady.to_json())])
+            }
+        }
+        impl FromJson for Ghost {
+            fn from_json(v: &Json) -> Result<Ghost> {
+                Ok(Ghost {
+                    row: v.field("row")?,
+                    steady: v.field("steady")?,
+                })
+            }
         }
         let got = run(2, |comm| {
             if comm.rank() == 0 {

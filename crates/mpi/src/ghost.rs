@@ -8,8 +8,7 @@
 
 use crate::comm::{Comm, Tag};
 use ezp_core::error::Result;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use ezp_core::json::{FromJson, ToJson};
 
 /// Tag used by the ghost exchange (distinct directions use tag+0/+1).
 const TAG_GHOST_DOWN: Tag = u32::MAX - 10; // data flowing to higher ranks
@@ -103,7 +102,7 @@ pub fn exchange_rows<T>(
     last_row: &T,
 ) -> Result<(Option<T>, Option<T>)>
 where
-    T: Serialize + DeserializeOwned,
+    T: ToJson + FromJson,
 {
     // send phase (buffered, never blocks)
     if let Some(up) = block.up_neighbor() {

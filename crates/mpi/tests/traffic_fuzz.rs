@@ -6,22 +6,21 @@
 //! world and assert exact delivery.
 
 use ezp_mpi::{collective, run};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ezp_testkit::ezp_proptest;
+use ezp_testkit::prop::any_u64;
+use ezp_testkit::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+ezp_proptest! {
+    #![cases(16)]
 
     /// Every rank sends a random multiset of tagged messages to every
     /// other rank; receivers request them grouped by (src, tag) in a
     /// *different* random order. All payloads must arrive exactly once.
-    #[test]
     fn random_traffic_delivers_exactly_once(
         np in 2usize..5,
         msgs_per_pair in 1usize..5,
         tags in 1u32..4,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
         let results = run(np, |comm| {
             let me = comm.rank();
@@ -43,11 +42,8 @@ proptest! {
                 .filter(|&s| s != me)
                 .flat_map(|s| (0..tags).map(move |t| (s, t)))
                 .collect();
-            let mut rng = StdRng::seed_from_u64(seed ^ me as u64);
-            for i in (1..pairs.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                pairs.swap(i, j);
-            }
+            let mut rng = Rng::seed(seed ^ me as u64);
+            rng.shuffle(&mut pairs);
             let mut received = Vec::new();
             for (src, tag) in pairs {
                 for k in 0..msgs_per_pair {
@@ -60,12 +56,11 @@ proptest! {
         })
         .unwrap();
         let expected = (np - 1) * msgs_per_pair * tags as usize;
-        prop_assert!(results.iter().all(|&n| n == expected));
+        assert!(results.iter().all(|&n| n == expected));
     }
 
     /// Interleaving point-to-point chatter with collectives must never
     /// cross-contaminate either stream.
-    #[test]
     fn collectives_and_p2p_interleave_safely(
         np in 2usize..5,
         rounds in 1usize..6,
@@ -87,7 +82,7 @@ proptest! {
         .unwrap();
         for r in &results {
             for (round, &sum) in r.iter().enumerate() {
-                prop_assert_eq!(sum, (round as u64 + 1) * np as u64);
+                assert_eq!(sum, (round as u64 + 1) * np as u64);
             }
         }
     }

@@ -56,7 +56,8 @@ pub fn upscale_nearest(img: &Img2D<Rgba>, factor: usize) -> Img2D<Rgba> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::any_u64;
 
     #[test]
     fn downscale_uniform_image_is_uniform() {
@@ -108,15 +109,15 @@ mod tests {
         let _ = downscale(&img, 8, 2);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
+    ezp_proptest! {
+        #![cases(24)]
+
         fn prop_downscale_preserves_mean_within_rounding(
             w in 2usize..32,
             h in 2usize..32,
             ow in 1usize..8,
             oh in 1usize..8,
-            seed in any::<u64>(),
+            seed in any_u64(),
         ) {
             let ow = ow.min(w);
             let oh = oh.min(h);
@@ -132,7 +133,7 @@ mod tests {
             };
             // box filtering keeps the global mean within rounding error +
             // a small imbalance term from non-uniform block sizes
-            prop_assert!((mean(&img) - mean(&t)).abs() < 24.0);
+            assert!((mean(&img) - mean(&t)).abs() < 24.0);
         }
     }
 }

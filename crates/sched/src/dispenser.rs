@@ -15,11 +15,11 @@
 //!   eventually used to correct load imbalance" (§II-B).
 //!
 //! The dispensers are lock-free where the policy allows (atomic cursors)
-//! and use short per-rank `parking_lot` critical sections for stealing.
+//! and use short per-rank mutex critical sections for stealing.
 
 use ezp_core::Schedule;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A concurrent source of chunks over `0..n`.
 ///
@@ -255,7 +255,9 @@ impl StealingDispenser {
 
     /// Takes up to `k` iterations from the front of `rank`'s own range.
     fn take_local(&self, rank: usize) -> Option<(usize, usize)> {
-        let mut r = self.ranges[rank].lock();
+        // Nothing user-supplied runs under these locks, so they cannot be
+        // poisoned and unwrap is safe (same argument as in `pool`).
+        let mut r = self.ranges[rank].lock().unwrap();
         if r.0 >= r.1 {
             return None;
         }
@@ -273,11 +275,11 @@ impl StealingDispenser {
             let victim = (0..self.ranges.len())
                 .filter(|&v| v != rank)
                 .max_by_key(|&v| {
-                    let r = self.ranges[v].lock();
+                    let r = self.ranges[v].lock().unwrap();
                     r.1.saturating_sub(r.0)
                 })?;
             let stolen = {
-                let mut r = self.ranges[victim].lock();
+                let mut r = self.ranges[victim].lock().unwrap();
                 let avail = r.1.saturating_sub(r.0);
                 if avail == 0 {
                     // someone drained the victim between the scan and the
@@ -294,7 +296,7 @@ impl StealingDispenser {
                 r.1 = start;
                 (start, start + take)
             };
-            let mut own = self.ranges[rank].lock();
+            let mut own = self.ranges[rank].lock().unwrap();
             debug_assert!(own.0 >= own.1, "stealing with local work left");
             *own = stolen;
             drop(own);
@@ -306,7 +308,7 @@ impl StealingDispenser {
         self.ranges
             .iter()
             .map(|r| {
-                let r = r.lock();
+                let r = r.lock().unwrap();
                 r.1.saturating_sub(r.0)
             })
             .sum()
@@ -338,7 +340,7 @@ pub fn drain_rank(d: &dyn Dispenser, rank: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
     use std::collections::BTreeSet;
 
     /// Exhausts a dispenser from `threads` ranks round-robin (serial but
@@ -494,8 +496,7 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
+    ezp_proptest! {
         fn prop_exact_cover(
             n in 0usize..500,
             threads in 1usize..9,
@@ -514,26 +515,24 @@ mod tests {
             assert_exact_cover(&got, n);
         }
 
-        #[test]
         fn prop_guided_non_increasing(n in 1usize..2000, threads in 1usize..9, k in 1usize..6) {
             let d = GuidedChunks::new(n, threads, k);
             let sizes: Vec<usize> = drain_rank(&d, 0).iter().map(|&(_, l)| l).collect();
             for w in sizes.windows(2) {
-                prop_assert!(w[0] >= w[1]);
+                assert!(w[0] >= w[1]);
             }
         }
 
-        #[test]
         fn prop_static_block_partition(n in 0usize..10_000, threads in 1usize..17) {
             let mut total = 0;
             let mut next_start = 0;
             for rank in 0..threads {
                 let (start, len) = StaticBlock::block_of(n, threads, rank);
-                prop_assert_eq!(start, next_start);
+                assert_eq!(start, next_start);
                 next_start = start + len;
                 total += len;
             }
-            prop_assert_eq!(total, n);
+            assert_eq!(total, n);
         }
     }
 }

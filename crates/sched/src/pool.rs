@@ -22,8 +22,8 @@
 //! single panic naming the region, so a crashing tile function cannot
 //! deadlock the pool.
 
-use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,14 +119,16 @@ impl WorkerPool {
         let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
         let erased = ErasedJob { ptr };
         {
-            let mut job = self.state.job.lock();
+            let mut job = self.state.job.lock().unwrap();
             *job = (seq, Some(erased));
             self.state.job_ready.notify_all();
         }
-        // Wait for completion.
-        let mut done = self.state.region_done.lock();
+        // Wait for completion. Workers never panic while holding a pool
+        // lock (the region closure runs under catch_unwind with no guard
+        // live), so lock poisoning cannot occur and unwrap is safe.
+        let mut done = self.state.region_done.lock().unwrap();
         while *done < seq {
-            self.state.done_cv.wait(&mut done);
+            done = self.state.done_cv.wait(done).unwrap();
         }
         drop(done);
         let panics = self.state.panics.load(Ordering::Acquire);
@@ -154,7 +156,7 @@ impl Drop for WorkerPool {
             // Hold the job mutex while flipping the flag: a worker is
             // either inside `job_ready.wait` (and gets the notify) or has
             // not re-checked the flag yet (and will see it set).
-            let _guard = self.state.job.lock();
+            let _guard = self.state.job.lock().unwrap();
             self.state.shutdown.store(true, Ordering::Release);
             self.state.job_ready.notify_all();
         }
@@ -169,7 +171,7 @@ fn worker_loop(rank: usize, state: Arc<PoolState>) {
     loop {
         // Wait for a job newer than the last one we ran, or shutdown.
         let job = {
-            let mut guard = state.job.lock();
+            let mut guard = state.job.lock().unwrap();
             loop {
                 if state.shutdown.load(Ordering::Acquire) {
                     return;
@@ -179,7 +181,7 @@ fn worker_loop(rank: usize, state: Arc<PoolState>) {
                     last_seq = seq;
                     break job.expect("job published without closure");
                 }
-                state.job_ready.wait(&mut guard);
+                guard = state.job_ready.wait(guard).unwrap();
             }
         };
         // SAFETY: `run` keeps the closure alive until we report done.
@@ -189,7 +191,7 @@ fn worker_loop(rank: usize, state: Arc<PoolState>) {
         }
         if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last worker out closes the region.
-            let mut done = state.region_done.lock();
+            let mut done = state.region_done.lock().unwrap();
             *done = last_seq;
             state.done_cv.notify_all();
         }

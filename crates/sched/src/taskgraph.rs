@@ -10,9 +10,9 @@
 use crate::pool::WorkerPool;
 use ezp_core::error::{Error, Result};
 use ezp_core::{TileGrid, WorkerId};
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A directed acyclic graph of `n` tasks (ids `0..n`).
 #[derive(Clone, Debug, Default)]
@@ -143,7 +143,7 @@ impl TaskGraph {
         let cycle = AtomicBool::new(false);
 
         pool.run(|rank| {
-            let mut guard = queue.lock();
+            let mut guard = queue.lock().unwrap();
             loop {
                 if guard.completed == n || cycle.load(Ordering::Relaxed) {
                     return;
@@ -158,7 +158,7 @@ impl TaskGraph {
                             newly_ready.push(d);
                         }
                     }
-                    guard = queue.lock();
+                    guard = queue.lock().unwrap();
                     guard.in_flight -= 1;
                     guard.completed += 1;
                     guard.ready.extend(newly_ready);
@@ -171,13 +171,13 @@ impl TaskGraph {
                     cv.notify_all();
                     return;
                 } else {
-                    cv.wait(&mut guard);
+                    guard = cv.wait(guard).unwrap();
                 }
             }
         });
 
         if cycle.load(Ordering::Relaxed) {
-            let done = queue.lock().completed;
+            let done = queue.lock().unwrap().completed;
             return Err(Error::Config(format!(
                 "task graph has a cycle: only {done}/{n} tasks runnable"
             )));
@@ -189,13 +189,16 @@ impl TaskGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::vec_of;
 
     fn record_parallel(graph: &TaskGraph, threads: usize) -> Vec<usize> {
         let mut pool = WorkerPool::new(threads);
         let order = Mutex::new(Vec::new());
-        graph.run(&mut pool, |t, _| order.lock().push(t)).unwrap();
-        order.into_inner()
+        graph
+            .run(&mut pool, |t, _| order.lock().unwrap().push(t))
+            .unwrap();
+        order.into_inner().unwrap()
     }
 
     fn assert_topological(graph: &TaskGraph, order: &[usize]) {
@@ -288,9 +291,11 @@ mod tests {
         g.add_dep(3, 2);
         let ran = Mutex::new(Vec::new());
         let mut pool = WorkerPool::new(2);
-        let err = g.run(&mut pool, |t, _| ran.lock().push(t)).unwrap_err();
+        let err = g
+            .run(&mut pool, |t, _| ran.lock().unwrap().push(t))
+            .unwrap_err();
         assert!(err.to_string().contains("cycle"));
-        let mut ran = ran.into_inner();
+        let mut ran = ran.into_inner().unwrap();
         ran.sort_unstable();
         assert_eq!(ran, vec![0, 1]);
     }
@@ -319,12 +324,12 @@ mod tests {
         g.add_dep(1, 1);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
+    ezp_proptest! {
+        #![cases(32)]
+
         fn prop_random_dag_runs_topologically(
             n in 1usize..40,
-            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+            edges in vec_of((0usize..40, 0usize..40), 0..80),
             threads in 1usize..5,
         ) {
             let mut g = TaskGraph::new(n);

@@ -215,7 +215,8 @@ pub fn simulate_iterations(cost_map: &CostMap, config: SimConfig, iterations: u3
 mod tests {
     use super::*;
     use ezp_core::TileGrid;
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::any_u64;
 
     fn grid4() -> TileGrid {
         TileGrid::square(64, 16).unwrap() // 4x4 = 16 tiles
@@ -379,15 +380,15 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
+    ezp_proptest! {
+        #![cases(48)]
+
         fn prop_sim_invariants(
             dim_tiles in 1usize..8,
             threads in 1usize..7,
             which in 0usize..5,
             k in 1usize..4,
-            seed in any::<u64>(),
+            seed in any_u64(),
         ) {
             let grid = TileGrid::square(dim_tiles * 8, 8).unwrap();
             let mut state = seed;
@@ -404,12 +405,12 @@ mod tests {
             };
             let r = simulate(&m, no_overhead(threads, sched));
             // exact coverage
-            prop_assert_eq!(r.tasks.len(), m.len());
+            assert_eq!(r.tasks.len(), m.len());
             // work and critical-path lower bounds, sequential upper bound
             let total = m.total();
-            prop_assert!(r.makespan_ns >= total.div_ceil(threads as u64));
-            prop_assert!(r.makespan_ns >= m.max());
-            prop_assert!(r.makespan_ns <= total);
+            assert!(r.makespan_ns >= total.div_ceil(threads as u64));
+            assert!(r.makespan_ns >= m.max());
+            assert!(r.makespan_ns <= total);
             // per-worker tasks never overlap in time
             let mut per_worker: Vec<Vec<&SimTask>> = vec![Vec::new(); threads];
             for t in &r.tasks {
@@ -418,14 +419,14 @@ mod tests {
             for tasks in &mut per_worker {
                 tasks.sort_by_key(|t| t.start_ns);
                 for w in tasks.windows(2) {
-                    prop_assert!(w[0].end_ns <= w[1].start_ns);
+                    assert!(w[0].end_ns <= w[1].start_ns);
                 }
             }
             // busy accounting matches task durations
             for (w, &busy) in r.busy_ns.iter().enumerate() {
                 let sum: u64 = r.tasks.iter().filter(|t| t.worker == w)
                     .map(|t| t.end_ns - t.start_ns).sum();
-                prop_assert_eq!(busy, sum);
+                assert_eq!(busy, sum);
             }
         }
     }

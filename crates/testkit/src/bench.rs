@@ -1,0 +1,232 @@
+//! Wall-clock micro-benchmark runner.
+//!
+//! Replaces `criterion` for the workspace's purposes: each benchmark runs a
+//! warmup phase, then collects N timed samples and reports min / median /
+//! mean. Results can be printed as an aligned table or appended to a CSV
+//! file whose layout (comma-separated, header row, no quoting needed)
+//! matches what `ezp-core::csv::CsvTable` reads back.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Outcome of one benchmark: timing statistics over the collected samples.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    pub param: String,
+    pub samples: usize,
+    pub min_ns: u64,
+    pub median_ns: u64,
+    pub mean_ns: u64,
+}
+
+impl BenchResult {
+    pub const CSV_HEADER: &'static [&'static str] =
+        &["bench", "param", "samples", "min_ns", "median_ns", "mean_ns"];
+
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.name.clone(),
+            self.param.clone(),
+            self.samples.to_string(),
+            self.min_ns.to_string(),
+            self.median_ns.to_string(),
+            self.mean_ns.to_string(),
+        ]
+    }
+}
+
+/// Benchmark configuration: warmup iterations and sample count.
+#[derive(Clone, Debug)]
+pub struct Bench {
+    warmup: usize,
+    samples: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench { warmup: 3, samples: 11 }
+    }
+}
+
+impl Bench {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of untimed warmup calls before sampling (default 3).
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Number of timed samples; the median is the headline number
+    /// (default 11, forced to at least 1).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time `f`, returning min/median/mean over the samples. The closure's
+    /// return value is black-boxed so the optimizer cannot delete the work.
+    pub fn run<R>(&self, name: &str, param: &str, mut f: impl FnMut() -> R) -> BenchResult {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<u64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed().as_nanos() as u64);
+        }
+        times.sort_unstable();
+        let min_ns = times[0];
+        let median_ns = times[times.len() / 2];
+        let mean_ns = times.iter().sum::<u64>() / times.len() as u64;
+        BenchResult {
+            name: name.to_string(),
+            param: param.to_string(),
+            samples: times.len(),
+            min_ns,
+            median_ns,
+            mean_ns,
+        }
+    }
+}
+
+/// Collects results across a bench binary and renders them at the end.
+#[derive(Default)]
+pub struct BenchSet {
+    config: Bench,
+    results: Vec<BenchResult>,
+}
+
+impl BenchSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_config(config: Bench) -> Self {
+        BenchSet { config, results: Vec::new() }
+    }
+
+    /// Run one benchmark under this set's configuration and record it.
+    pub fn bench<R>(&mut self, name: &str, param: &str, f: impl FnMut() -> R) -> &BenchResult {
+        let r = self.config.run(name, param, f);
+        eprintln!(
+            "  {:<28} {:<12} median {:>12}  (min {}, mean {}, n={})",
+            r.name,
+            r.param,
+            fmt_ns(r.median_ns),
+            fmt_ns(r.min_ns),
+            fmt_ns(r.mean_ns),
+            r.samples
+        );
+        self.results.push(r);
+        self.results.last().unwrap()
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Render an aligned summary table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:<12} {:>12} {:>12} {:>12}",
+            "bench", "param", "min", "median", "mean"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{:<28} {:<12} {:>12} {:>12} {:>12}",
+                r.name,
+                r.param,
+                fmt_ns(r.min_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns)
+            );
+        }
+        out
+    }
+
+    /// Append all results to `path` as CSV, writing the header only when the
+    /// file does not exist yet (same convention as `ezp-core::csv`).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let write_header = !path.exists();
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if write_header {
+            writeln!(file, "{}", BenchResult::CSV_HEADER.join(","))?;
+        }
+        for r in &self.results {
+            writeln!(file, "{}", r.csv_row().join(","))?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_invariant() {
+        let b = Bench::new().warmup(0).samples(5);
+        let r = b.run("noop", "x", || 1 + 1);
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns);
+    }
+
+    #[test]
+    fn measures_real_work() {
+        let b = Bench::new().warmup(1).samples(3);
+        let r = b.run("spin", "1ms", || std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert!(r.median_ns >= 900_000, "1ms sleep measured at {} ns", r.median_ns);
+    }
+
+    #[test]
+    fn csv_round_trips_through_tempfile() {
+        let dir = std::env::temp_dir().join(format!("ezp-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let _ = std::fs::remove_file(&path);
+
+        let mut set = BenchSet::with_config(Bench::new().warmup(0).samples(1));
+        set.bench("alpha", "n=4", || 42);
+        set.write_csv(&path).unwrap();
+        set.write_csv(&path).unwrap(); // append must not duplicate the header
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "bench,param,samples,min_ns,median_ns,mean_ns");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("alpha,n=4,1,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn table_lists_all_results() {
+        let mut set = BenchSet::with_config(Bench::new().warmup(0).samples(1));
+        set.bench("one", "a", || ());
+        set.bench("two", "b", || ());
+        let t = set.table();
+        assert!(t.contains("one") && t.contains("two"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `ezp-testkit` — the in-repo testing substrate for the EASYPAP workspace.
+//!
+//! The workspace builds fully offline: no registry dependencies are allowed
+//! anywhere. This crate supplies the three pieces of infrastructure that
+//! external crates used to provide:
+//!
+//! * [`rng`] — a deterministic `SplitMix64`-seeded Xoshiro256++ PRNG with
+//!   `gen_range`, `fill` and `shuffle`, replacing `rand`.
+//! * [`prop`] — a miniature property-testing harness (the [`ezp_proptest!`]
+//!   macro, generator combinators, and binary-search shrinking), replacing
+//!   `proptest`. Set `EZP_TEST_SEED=<u64>` to reproduce a run byte-for-byte.
+//! * [`bench`] — a wall-clock micro-benchmark runner (median-of-N with
+//!   warmup) whose CSV output is compatible with `ezp-core::csv`, replacing
+//!   `criterion`.
+//!
+//! Everything here is `std`-only and deterministic by construction: the
+//! default seed is a fixed constant, and the per-test stream is derived from
+//! the test name so adding a property never perturbs its neighbours.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{Bench, BenchResult, BenchSet};
+pub use prop::{
+    grid_dims, select, vec_of, Strategy, StrategyExt, DEFAULT_CASES, DEFAULT_SEED,
+};
+pub use rng::Rng;

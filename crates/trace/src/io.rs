@@ -17,8 +17,8 @@
 
 use crate::model::{Trace, TraceMeta};
 use crate::varint::{read_u64, read_usize, write_u64, write_usize};
-use bytes::Buf;
 use ezp_core::error::{Error, Result};
+use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_monitor::report::IterationSpan;
 use ezp_monitor::TileRecord;
 use std::path::Path;
@@ -31,8 +31,7 @@ pub fn to_bytes(trace: &Trace) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(64 + trace.tasks.len() * 8);
     out.extend_from_slice(MAGIC);
 
-    let meta = serde_json::to_vec(&trace.meta)
-        .map_err(|e| Error::TraceFormat(format!("meta serialization failed: {e}")))?;
+    let meta = trace.meta.to_json().dump().into_bytes();
     write_usize(&mut out, meta.len());
     out.extend_from_slice(&meta);
 
@@ -75,18 +74,21 @@ pub fn to_bytes(trace: &Trace) -> Result<Vec<u8>> {
 /// Parses `.ezv` bytes back into a trace (validated).
 pub fn from_bytes(bytes: &[u8]) -> Result<Trace> {
     let mut buf = bytes;
-    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+    if buf.len() < 4 || &buf[..4] != MAGIC {
         return Err(Error::TraceFormat("bad magic (not an .ezv trace)".into()));
     }
-    buf.advance(4);
+    buf = &buf[4..];
 
     let meta_len = read_usize(&mut buf)?;
-    if buf.remaining() < meta_len {
+    if buf.len() < meta_len {
         return Err(Error::TraceFormat("truncated metadata".into()));
     }
-    let meta: TraceMeta = serde_json::from_slice(&buf[..meta_len])
+    let meta_text = std::str::from_utf8(&buf[..meta_len])
+        .map_err(|e| Error::TraceFormat(format!("metadata is not UTF-8: {e}")))?;
+    let meta = Json::parse(meta_text)
+        .and_then(|v| TraceMeta::from_json(&v))
         .map_err(|e| Error::TraceFormat(format!("bad metadata JSON: {e}")))?;
-    buf.advance(meta_len);
+    buf = &buf[meta_len..];
 
     let iter_count = read_usize(&mut buf)?;
     let mut iterations = Vec::with_capacity(iter_count.min(1 << 20));
@@ -139,10 +141,10 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Trace> {
             worker,
         });
     }
-    if buf.has_remaining() {
+    if !buf.is_empty() {
         return Err(Error::TraceFormat(format!(
             "{} trailing bytes after trace",
-            buf.remaining()
+            buf.len()
         )));
     }
     let trace = Trace {
@@ -167,14 +169,14 @@ pub fn load(path: impl AsRef<Path>) -> Result<Trace> {
 
 /// Exports a trace as pretty JSON (for external tooling / debugging).
 pub fn to_json(trace: &Trace) -> Result<String> {
-    serde_json::to_string_pretty(trace)
-        .map_err(|e| Error::TraceFormat(format!("JSON export failed: {e}")))
+    Ok(trace.to_json().pretty())
 }
 
 /// Imports a trace from its JSON export.
 pub fn from_json(json: &str) -> Result<Trace> {
-    let trace: Trace =
-        serde_json::from_str(json).map_err(|e| Error::TraceFormat(format!("bad JSON: {e}")))?;
+    let value = Json::parse(json).map_err(|e| Error::TraceFormat(format!("bad JSON: {e}")))?;
+    let trace = Trace::from_json(&value)
+        .map_err(|e| Error::TraceFormat(format!("bad trace JSON: {e}")))?;
     trace.validate()?;
     Ok(trace)
 }
@@ -182,7 +184,8 @@ pub fn from_json(json: &str) -> Result<Trace> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::any_u64;
 
     fn sample() -> Trace {
         let meta = TraceMeta {
@@ -295,13 +298,10 @@ mod tests {
         assert_eq!(back, t);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn prop_round_trip(
-            n_tasks in 0usize..40,
-            seed in any::<u64>(),
-        ) {
+    ezp_proptest! {
+        #![cases(64)]
+
+        fn prop_round_trip(n_tasks in 0usize..40, seed in any_u64()) {
             // build a sorted, valid task list from the seed
             let mut state = seed;
             let mut next = || {
@@ -336,7 +336,7 @@ mod tests {
                 tasks,
             };
             let back = from_bytes(&to_bytes(&t).unwrap()).unwrap();
-            prop_assert_eq!(back, t);
+            assert_eq!(back, t);
         }
     }
 }

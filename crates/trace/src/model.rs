@@ -1,14 +1,14 @@
 //! The in-memory trace model.
 
 use ezp_core::error::{Error, Result};
+use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_core::{RunConfig, TileGrid};
 use ezp_monitor::report::IterationSpan;
 use ezp_monitor::{MonitorReport, TileRecord};
-use serde::{Deserialize, Serialize};
 
 /// Run metadata carried in the trace header, so that EASYVIEW can label
 /// windows and rebuild the tile grid without the original command line.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceMeta {
     /// Kernel name (`--kernel`).
     pub kernel: String,
@@ -46,9 +46,37 @@ impl TraceMeta {
     }
 }
 
+impl ToJson for TraceMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", self.kernel.to_json()),
+            ("variant", self.variant.to_json()),
+            ("dim", self.dim.to_json()),
+            ("tile_size", self.tile_size.to_json()),
+            ("threads", self.threads.to_json()),
+            ("schedule", self.schedule.to_json()),
+            ("label", self.label.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceMeta {
+    fn from_json(v: &Json) -> Result<Self> {
+        Ok(TraceMeta {
+            kernel: v.field("kernel")?,
+            variant: v.field("variant")?,
+            dim: v.field("dim")?,
+            tile_size: v.field("tile_size")?,
+            threads: v.field("threads")?,
+            schedule: v.field("schedule")?,
+            label: v.field("label")?,
+        })
+    }
+}
+
 /// A complete recorded execution: metadata, iteration spans and task
 /// events — everything EASYVIEW needs (§II-D).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     /// Header metadata.
     pub meta: TraceMeta,
@@ -149,6 +177,26 @@ impl Trace {
             }
         }
         Ok(())
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("meta", self.meta.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("tasks", self.tasks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Trace {
+    fn from_json(v: &Json) -> Result<Self> {
+        Ok(Trace {
+            meta: v.field("meta")?,
+            iterations: v.field("iterations")?,
+            tasks: v.field("tasks")?,
+        })
     }
 }
 

@@ -5,38 +5,40 @@
 //! 7 payload bits per byte, high bit = continuation. Timestamps are
 //! additionally delta-encoded by the caller, which keeps most values in
 //! one or two bytes.
+//!
+//! Readers take `&mut &[u8]` and advance the slice past what they consume,
+//! so sequential decoding is just repeated calls on the same cursor.
 
-use bytes::{Buf, BufMut};
 use ezp_core::error::{Error, Result};
 
 /// Maximum encoded size of a `u64` varint.
 pub const MAX_LEN: usize = 10;
 
 /// Appends `value` to `out` as LEB128.
-pub fn write_u64(out: &mut impl BufMut, mut value: u64) {
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
         if value == 0 {
-            out.put_u8(byte);
+            out.push(byte);
             return;
         }
-        out.put_u8(byte | 0x80);
+        out.push(byte | 0x80);
     }
 }
 
-/// Reads one LEB128 `u64` from `buf`.
+/// Reads one LEB128 `u64` from the front of `buf`, advancing it.
 ///
 /// Fails on truncated input and on encodings longer than [`MAX_LEN`]
 /// bytes (which cannot come from [`write_u64`]).
-pub fn read_u64(buf: &mut impl Buf) -> Result<u64> {
+pub fn read_u64(buf: &mut &[u8]) -> Result<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
     for _ in 0..MAX_LEN {
-        if !buf.has_remaining() {
+        let Some((&byte, rest)) = buf.split_first() else {
             return Err(Error::TraceFormat("truncated varint".into()));
-        }
-        let byte = buf.get_u8();
+        };
+        *buf = rest;
         let payload = (byte & 0x7f) as u64;
         if shift == 63 && payload > 1 {
             return Err(Error::TraceFormat("varint overflows u64".into()));
@@ -51,12 +53,12 @@ pub fn read_u64(buf: &mut impl Buf) -> Result<u64> {
 }
 
 /// Convenience: `write_u64` for `usize`.
-pub fn write_usize(out: &mut impl BufMut, value: usize) {
+pub fn write_usize(out: &mut Vec<u8>, value: usize) {
     write_u64(out, value as u64);
 }
 
 /// Convenience: `read_u64` narrowed to `usize`.
-pub fn read_usize(buf: &mut impl Buf) -> Result<usize> {
+pub fn read_usize(buf: &mut &[u8]) -> Result<usize> {
     let v = read_u64(buf)?;
     usize::try_from(v).map_err(|_| Error::TraceFormat(format!("value {v} exceeds usize")))
 }
@@ -64,7 +66,8 @@ pub fn read_usize(buf: &mut impl Buf) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::{any_u64, vec_of};
 
     fn round_trip(v: u64) -> u64 {
         let mut buf = Vec::new();
@@ -87,7 +90,7 @@ mod tests {
 
     #[test]
     fn boundaries() {
-        for v in [127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
             assert_eq!(round_trip(v), v);
         }
         let mut buf = Vec::new();
@@ -125,23 +128,21 @@ mod tests {
         assert_eq!(read_usize(&mut slice).unwrap(), 123_456);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(v: u64) {
-            prop_assert_eq!(round_trip(v), v);
+    ezp_proptest! {
+        fn prop_round_trip(v in any_u64()) {
+            assert_eq!(round_trip(v), v);
         }
 
-        #[test]
-        fn prop_streams_concatenate(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        fn prop_streams_concatenate(values in vec_of(any_u64(), 0..64)) {
             let mut buf = Vec::new();
             for &v in &values {
                 write_u64(&mut buf, v);
             }
             let mut slice = buf.as_slice();
             for &v in &values {
-                prop_assert_eq!(read_u64(&mut slice).unwrap(), v);
+                assert_eq!(read_u64(&mut slice).unwrap(), v);
             }
-            prop_assert!(slice.is_empty());
+            assert!(slice.is_empty());
         }
     }
 }

@@ -4,7 +4,8 @@
 use easypap::core::kernel::Probe;
 use easypap::core::perf::run_kernel;
 use easypap::prelude::*;
-use proptest::prelude::*;
+use ezp_testkit::ezp_proptest;
+use ezp_testkit::prop::{any_u64, select, Strategy, StrategyExt};
 use std::sync::Arc;
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
@@ -17,16 +18,15 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+ezp_proptest! {
+    #![cases(12)]
 
     /// For any geometry/schedule/threads, a monitored mandel run records
     /// exactly one task per tile per iteration, with sane timestamps and
     /// worker ranks, and the tiling snapshot is complete.
-    #[test]
     fn monitored_runs_are_complete_and_sane(
         dim_tiles in 2usize..6,
-        tile in proptest::sample::select(vec![8usize, 12, 16]),
+        tile in select(vec![8usize, 12, 16]),
         threads in 1usize..5,
         iters in 1u32..4,
         schedule in schedule_strategy(),
@@ -45,22 +45,22 @@ proptest! {
         run_kernel(&reg, cfg, monitor.clone() as Arc<dyn Probe>).unwrap();
         let report = monitor.report();
 
-        prop_assert_eq!(report.iterations.len(), iters as usize);
-        prop_assert_eq!(report.records.len(), grid.len() * iters as usize);
+        assert_eq!(report.iterations.len(), iters as usize);
+        assert_eq!(report.records.len(), grid.len() * iters as usize);
         for r in &report.records {
-            prop_assert!(r.worker < threads);
-            prop_assert!(r.end_ns >= r.start_ns);
-            prop_assert!((1..=iters).contains(&r.iteration));
+            assert!(r.worker < threads);
+            assert!(r.end_ns >= r.start_ns);
+            assert!((1..=iters).contains(&r.iteration));
         }
         for it in 1..=iters {
             let snap = report.tiling_snapshot(it);
-            prop_assert_eq!(snap.computed_tiles(), grid.len());
+            assert_eq!(snap.computed_tiles(), grid.len());
             let stats = report.iteration_stats(it).unwrap();
-            prop_assert_eq!(stats.tiles.iter().sum::<usize>(), grid.len());
+            assert_eq!(stats.tiles.iter().sum::<usize>(), grid.len());
             // per-worker busy time never exceeds the iteration span by
             // more than scheduling jitter (tasks are within the span)
             for w in 0..threads {
-                prop_assert!(stats.load(w) <= 1.0);
+                assert!(stats.load(w) <= 1.0);
             }
         }
         // trace conversion + validation always succeeds
@@ -76,16 +76,15 @@ proptest! {
             },
             &report,
         );
-        prop_assert!(trace.validate().is_ok());
+        assert!(trace.validate().is_ok());
         // binary round trip
         let bytes = easypap::trace::io::to_bytes(&trace).unwrap();
-        prop_assert_eq!(easypap::trace::io::from_bytes(&bytes).unwrap(), trace);
+        assert_eq!(easypap::trace::io::from_bytes(&bytes).unwrap(), trace);
     }
 
     /// Life variants agree with seq on random boards under any schedule.
-    #[test]
     fn life_variants_agree_under_any_schedule(
-        seed in any::<u64>(),
+        seed in any_u64(),
         schedule in schedule_strategy(),
         threads in 1usize..4,
     ) {
@@ -107,16 +106,15 @@ proptest! {
             ctx.images.cur().as_slice().to_vec()
         };
         let reference = run("seq", Schedule::Static, 1);
-        prop_assert_eq!(run("omp_tiled", schedule, threads), reference.clone());
-        prop_assert_eq!(run("lazy", schedule, threads), reference.clone());
-        prop_assert_eq!(run("mpi_omp", schedule, threads), reference);
+        assert_eq!(run("omp_tiled", schedule, threads), reference.clone());
+        assert_eq!(run("lazy", schedule, threads), reference.clone());
+        assert_eq!(run("mpi_omp", schedule, threads), reference);
     }
 
     /// Simulated executions of arbitrary cost maps convert into valid,
     /// analyzable traces whatever the policy.
-    #[test]
     fn simulated_traces_are_always_valid(
-        seed in any::<u64>(),
+        seed in any_u64(),
         threads in 1usize..8,
         iters in 1u32..4,
         schedule in schedule_strategy(),
@@ -129,13 +127,13 @@ proptest! {
         });
         let sim = simulate_iterations(&costs, SimConfig::new(threads, schedule), iters);
         let trace = sim.to_trace(&costs, "synthetic", "sim");
-        prop_assert!(trace.validate().is_ok());
-        prop_assert_eq!(trace.tasks.len(), grid.len() * iters as usize);
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.tasks.len(), grid.len() * iters as usize);
         let report = trace.to_report().unwrap();
         for it in 1..=iters {
-            prop_assert_eq!(report.tiling_snapshot(it).computed_tiles(), grid.len());
+            assert_eq!(report.tiling_snapshot(it).computed_tiles(), grid.len());
         }
         // speedup is bounded by thread count
-        prop_assert!(sim.speedup() <= threads as f64 + 1e-9);
+        assert!(sim.speedup() <= threads as f64 + 1e-9);
     }
 }
