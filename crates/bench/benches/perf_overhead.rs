@@ -1,0 +1,85 @@
+//! Overhead of the `ezp-perf` instrumentation: the same scheduled
+//! parallel loop driven once with a [`NullProbe`] (counters off — the
+//! `wants_runtime_events` gate skips every clock read) and once with a
+//! live [`PerfProbe`]. The acceptance bar is ≤5% slowdown on a
+//! realistic tile workload; the final line prints the measured ratio.
+//!
+//! Run with `cargo bench -p ezp-bench --bench perf_overhead`. Set
+//! `EZP_BENCH_CSV=path` to append the results as CSV.
+
+use ezp_core::kernel::{NullProbe, Probe};
+use ezp_core::Schedule;
+use ezp_perf::PerfProbe;
+use ezp_sched::{parallel_for_range_probed, WorkerPool};
+use ezp_testkit::{Bench, BenchSet};
+
+const TASKS: usize = 1024;
+const THREADS: usize = 4;
+
+/// Per-task workload sized like a real tile (a few µs of arithmetic, as
+/// a 16×16 pixel tile costs): heavy enough that the per-chunk probe
+/// cost — two clock reads and a couple of padded atomic adds — has to
+/// amortize, exactly the regime `--stats` runs in.
+fn tile_work(i: usize) -> u64 {
+    let mut acc = i as u64;
+    for _ in 0..4096 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    acc
+}
+
+fn run_loop(pool: &mut WorkerPool, schedule: Schedule, probe: &dyn Probe) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let sum = AtomicU64::new(0);
+    parallel_for_range_probed(pool, TASKS, schedule, probe, |i, _rank| {
+        sum.fetch_add(std::hint::black_box(tile_work(i)), Ordering::Relaxed);
+    });
+    sum.load(Ordering::Relaxed)
+}
+
+const SCHEDULES: [Schedule; 3] = [
+    Schedule::Static,
+    Schedule::Dynamic(4),
+    Schedule::NonmonotonicDynamic(4),
+];
+
+fn main() {
+    let mut set = BenchSet::with_config(Bench::new().warmup(5).samples(30));
+    let mut pool = WorkerPool::new(THREADS);
+    for schedule in SCHEDULES {
+        let name = schedule.as_omp_str();
+        set.bench("uninstrumented", &name, || {
+            run_loop(&mut pool, schedule, &NullProbe)
+        });
+        let probe = PerfProbe::new(THREADS);
+        set.bench("perf_probe", &name, || {
+            run_loop(&mut pool, schedule, &probe)
+        });
+    }
+    print!("{}", set.table());
+
+    // Headline number: worst-case instrumented/uninstrumented ratio.
+    let median = |set: &BenchSet, name: &str, param: &str| -> u64 {
+        set.results()
+            .iter()
+            .find(|r| r.name == name && r.param == param)
+            .map(|r| r.median_ns)
+            .unwrap()
+    };
+    let mut worst: f64 = 0.0;
+    for schedule in SCHEDULES {
+        let name = schedule.as_omp_str();
+        let base = median(&set, "uninstrumented", &name);
+        let inst = median(&set, "perf_probe", &name);
+        let ratio = inst as f64 / base.max(1) as f64;
+        println!("overhead {name}: {:+.2}%", (ratio - 1.0) * 100.0);
+        worst = worst.max(ratio);
+    }
+    println!(
+        "worst-case perf-probe overhead: {:+.2}% (target <= +5%)",
+        (worst - 1.0) * 100.0
+    );
+    if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
+        set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+}

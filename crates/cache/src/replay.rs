@@ -119,6 +119,7 @@ pub fn total(stats: &[TaskCacheStats]) -> CacheStats {
     for s in stats {
         acc.accesses += s.stats.accesses;
         acc.hits += s.stats.hits;
+        acc.evictions += s.stats.evictions;
     }
     acc
 }
@@ -228,6 +229,10 @@ mod tests {
             stats.iter().map(|s| s.stats.accesses).sum::<u64>()
         );
         assert_eq!(agg.hits, stats.iter().map(|s| s.stats.hits).sum::<u64>());
+        assert_eq!(
+            agg.evictions,
+            stats.iter().map(|s| s.stats.evictions).sum::<u64>()
+        );
     }
 
     #[test]

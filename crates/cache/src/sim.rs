@@ -52,6 +52,11 @@ pub struct CacheStats {
     pub accesses: u64,
     /// Accesses that hit.
     pub hits: u64,
+    /// Resident lines displaced by misses on full sets. Distinguishes
+    /// cold misses (`misses - evictions` on a never-flushed cache) from
+    /// capacity/conflict misses, which is the difference tile-size
+    /// experiments are about.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -111,6 +116,7 @@ impl CacheSim {
             // miss: evict LRU if full
             if set.len() == self.config.ways {
                 set.remove(0);
+                self.stats.evictions += 1;
             }
             set.push(line);
             false
@@ -190,6 +196,21 @@ mod tests {
         assert!(!c.access(8 * 16)); // line 8 evicts LRU = line 4
         assert!(c.access(0)); // 0 still resident
         assert!(!c.access(4 * 16)); // 4 was evicted
+        // two misses displaced resident lines; the first two were cold
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().misses(), 4);
+    }
+
+    #[test]
+    fn cold_misses_do_not_count_as_evictions() {
+        let mut c = CacheSim::new(tiny());
+        for addr in (0..128u64).step_by(16) {
+            c.access(addr); // fills the cache exactly, nothing displaced
+        }
+        assert_eq!(c.stats().misses(), 8);
+        assert_eq!(c.stats().evictions, 0);
+        c.access(128); // one more distinct line -> first eviction
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The `easypap` command: run a kernel variant under the framework.
 
+use ezp_core::ezp_debug;
 use ezp_core::kernel::{MultiProbe, NullProbe, Probe};
-use ezp_core::params::DisplayMode;
-use ezp_core::perf::run_kernel;
+use ezp_core::params::{DisplayMode, StatsFormat};
+use ezp_core::perf::run_kernel_boxed;
 use ezp_core::{Result, RunConfig};
 use ezp_kernels::life::Life;
 use ezp_kernels::registry;
-use ezp_monitor::{activity, Monitor};
+use ezp_monitor::{activity, Monitor, MonitorReport, UnifiedReport};
+use ezp_perf::PerfProbe;
 use ezp_trace::{Trace, TraceMeta};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -34,6 +36,11 @@ where
         return Ok(out);
     }
     let cfg = RunConfig::parse_args(args.iter().map(String::as_str))?;
+    // `--debug` raises the process-wide log level; EZP_LOG still works
+    // for runs without the flag.
+    if cfg.debug {
+        ezp_core::log::set_level(ezp_core::log::Level::Debug);
+    }
     let mut out = String::new();
 
     // Fig. 13 special case: MPI debugging shows every rank's windows;
@@ -43,25 +50,46 @@ where
     }
 
     let reg = registry();
-    // assemble the probe stack: monitoring and/or tracing both feed off
-    // a Monitor (the trace is the harvested report)
-    let monitor = if cfg.display == DisplayMode::Monitoring || cfg.trace {
+    // assemble the probe stack: monitoring/tracing feed off a Monitor
+    // (the trace is the harvested report); `--stats`/`--trace-events`
+    // add the perf probe for runtime counters and spans
+    let monitor = if cfg.display == DisplayMode::Monitoring || cfg.trace || cfg.trace_events.is_some()
+    {
         Some(Arc::new(Monitor::new(cfg.threads, cfg.grid()?)))
     } else {
         None
     };
-    let probe: Arc<dyn Probe> = match &monitor {
-        Some(m) => Arc::new(MultiProbe::new(vec![m.clone() as Arc<dyn Probe>])),
-        None => Arc::new(NullProbe),
+    let perf = if cfg.stats.is_some() || cfg.trace_events.is_some() {
+        Some(Arc::new(PerfProbe::new(cfg.threads)))
+    } else {
+        None
+    };
+    let mut probes: Vec<Arc<dyn Probe>> = Vec::new();
+    if let Some(m) = &monitor {
+        probes.push(m.clone());
+    }
+    if let Some(p) = &perf {
+        probes.push(p.clone());
+    }
+    ezp_debug!(
+        "easypap",
+        "probe stack: monitor={} perf={}",
+        monitor.is_some(),
+        perf.is_some()
+    );
+    let probe: Arc<dyn Probe> = if probes.is_empty() {
+        Arc::new(NullProbe)
+    } else {
+        Arc::new(MultiProbe::new(probes))
     };
 
     // `--frames DIR` replaces the animated window: run iteration by
     // iteration and dump each frame
     if let Some(frames_dir) = cfg.frames_dir.clone() {
-        return run_with_frames(&reg, cfg, probe, &frames_dir);
+        return run_with_frames(&reg, cfg, probe, monitor.as_deref(), perf.as_ref(), &frames_dir);
     }
 
-    let (outcome, ctx) = run_kernel(&reg, cfg.clone(), probe)?;
+    let (outcome, ctx, kernel) = run_kernel_boxed(&reg, cfg.clone(), probe)?;
     writeln!(out, "{}", outcome.summary()).unwrap();
 
     if cfg.display == DisplayMode::None {
@@ -81,11 +109,11 @@ where
         )));
     }
 
-    if let Some(monitor) = &monitor {
-        let report = monitor.report();
+    let report: Option<MonitorReport> = monitor.as_ref().map(|m| m.report());
+    if let Some(report) = &report {
         if cfg.display == DisplayMode::Monitoring {
             writeln!(out, "\n=== Activity Monitor ===").unwrap();
-            out.push_str(&activity::render_report(&report));
+            out.push_str(&activity::render_report(report));
             if let Some(last) = report.iterations.last() {
                 writeln!(out, "\n=== Tiling window (iteration {}) ===", last.iteration).unwrap();
                 out.push_str(&report.tiling_snapshot(last.iteration).to_ascii());
@@ -94,7 +122,7 @@ where
             }
         }
         if cfg.trace {
-            let trace = Trace::from_report(TraceMeta::from_config(&cfg), &report);
+            let trace = Trace::from_report(TraceMeta::from_config(&cfg), report);
             ezp_trace::io::save(&trace, &cfg.trace_file)?;
             writeln!(
                 out,
@@ -106,7 +134,58 @@ where
             .unwrap();
         }
     }
+
+    observability_tail(&mut out, &cfg, report, perf.as_ref(), &*kernel)?;
     Ok(out)
+}
+
+/// The `--trace-events` file and the `--stats` report, appended after
+/// everything else so scripted consumers can split the report off the
+/// human-readable lines above. Shared by the plain and `--frames` runs.
+fn observability_tail(
+    out: &mut String,
+    cfg: &RunConfig,
+    report: Option<MonitorReport>,
+    perf: Option<&Arc<PerfProbe>>,
+    kernel: &dyn ezp_core::Kernel,
+) -> Result<()> {
+    let spans = perf.map(|p| p.span_snapshot()).unwrap_or_default();
+    if let (Some(path), Some(report)) = (&cfg.trace_events, &report) {
+        let trace = Trace::from_report(TraceMeta::from_config(cfg), report);
+        let doc = ezp_trace::to_chrome(&trace, &spans);
+        std::fs::write(path, doc.dump())?;
+        writeln!(
+            out,
+            "trace events ({} tiles, {} spans) written to {path}",
+            trace.tasks.len(),
+            spans.len()
+        )
+        .unwrap();
+    }
+
+    if let (Some(format), Some(perf)) = (cfg.stats, perf) {
+        let mut snapshot = perf.snapshot();
+        for (name, per_worker) in kernel.stats_counters() {
+            snapshot.push(&name, per_worker);
+        }
+        let unified = UnifiedReport::new(report, snapshot, spans);
+        ezp_debug!(
+            "easypap",
+            "stats: {} counters, {} spans",
+            unified.counters.counters.len(),
+            unified.spans.len()
+        );
+        let rendered = match format {
+            StatsFormat::Text => unified.to_text(),
+            StatsFormat::Json => unified.to_json().dump(),
+            StatsFormat::Csv => unified.to_csv(),
+        };
+        out.push_str(&rendered);
+        if !rendered.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    Ok(())
 }
 
 /// `--frames DIR`: the animated-window replacement. The kernel runs one
@@ -117,6 +196,8 @@ fn run_with_frames(
     reg: &ezp_core::Registry,
     cfg: RunConfig,
     probe: Arc<dyn Probe>,
+    monitor: Option<&Monitor>,
+    perf: Option<&Arc<PerfProbe>>,
     frames_dir: &str,
 ) -> Result<String> {
     use ezp_core::KernelCtx;
@@ -148,6 +229,8 @@ fn run_with_frames(
         sink.frames().len()
     )
     .unwrap();
+    let report = monitor.map(|m| m.report());
+    observability_tail(&mut out, &cfg, report, perf, &*kernel)?;
     Ok(out)
 }
 
@@ -157,6 +240,7 @@ fn run_with_frames(
 fn run_life_mpi_debug(cfg: RunConfig) -> Result<String> {
     use ezp_core::{Kernel, KernelCtx};
     let mut out = String::new();
+    ezp_debug!("easypap", "mpi debug mode: {} ranks, {} threads each", cfg.mpi_ranks, cfg.threads);
     let mut kernel = Life::default();
     let iterations = cfg.iterations;
     let variant = cfg.variant.clone();
@@ -301,6 +385,111 @@ mod tests {
             assert_eq!(trace.meta.kernel, "blur");
             assert_eq!(trace.iteration_count(), 2);
             assert_eq!(trace.tasks.len(), 2 * 16);
+        });
+    }
+
+    #[test]
+    fn stats_json_reports_nonzero_task_counts() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "life", "--variant", "omp_tiled", "--size", "64", "--tile-size",
+                "16", "--iterations", "3", "--threads", "2", "--no-display", "--stats=json",
+                "--arg", "random:0.3",
+            ])
+            .unwrap();
+            // the JSON object is the last block of the output
+            let json_start = out.find('{').expect("no JSON in output");
+            let j = ezp_core::json::Json::parse(&out[json_start..]).unwrap();
+            let counters = j.get("counters").unwrap();
+            let tasks = counters
+                .get("counters")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .find(|c| c.field::<String>("name").unwrap() == "tasks_executed")
+                .expect("tasks_executed counter missing");
+            assert!(tasks.field::<u64>("total").unwrap() > 0, "no tasks counted");
+            assert!(
+                counters
+                    .get("counters")
+                    .unwrap()
+                    .as_arr()
+                    .unwrap()
+                    .iter()
+                    .any(|c| c.field::<String>("name").unwrap() == "chunks_dispensed"),
+                "scheduler counters missing"
+            );
+        });
+    }
+
+    #[test]
+    fn stats_text_and_csv_formats_render() {
+        in_tmp_dir(|| {
+            let text = run_easypap([
+                "--kernel", "mandel", "--variant", "omp_tiled", "--size", "32", "--tile-size",
+                "8", "--iterations", "1", "--threads", "2", "--no-display", "--stats",
+            ])
+            .unwrap();
+            assert!(text.contains("# TYPE ezp_tasks_executed counter"), "{text}");
+            assert!(text.contains("ezp_tasks_executed{worker=\"0\"}"), "{text}");
+            let csv = run_easypap([
+                "--kernel", "mandel", "--variant", "omp_tiled", "--size", "32", "--tile-size",
+                "8", "--iterations", "1", "--threads", "2", "--no-display", "--stats=csv",
+            ])
+            .unwrap();
+            assert!(csv.contains("counter,worker,value"), "{csv}");
+            assert!(csv.contains("tasks_executed"), "{csv}");
+        });
+    }
+
+    #[test]
+    fn stats_json_includes_mpi_comm_counters() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "life", "--variant", "mpi_omp", "--size", "64", "--tile-size",
+                "16", "--iterations", "2", "--threads", "2", "--mpirun", "-np 2",
+                "--no-display", "--stats=json", "--arg", "random:0.3",
+            ])
+            .unwrap();
+            let json_start = out.find('{').expect("no JSON in output");
+            let j = ezp_core::json::Json::parse(&out[json_start..]).unwrap();
+            let arr = j.get("counters").unwrap().get("counters").unwrap();
+            let find = |name: &str| {
+                arr.as_arr()
+                    .unwrap()
+                    .iter()
+                    .find(|c| c.field::<String>("name").unwrap() == name)
+                    .unwrap_or_else(|| panic!("{name} missing"))
+                    .field::<u64>("total")
+                    .unwrap()
+            };
+            // 2 ranks exchange ghost rows every iteration
+            assert!(find("mpi_msgs_sent") > 0);
+            assert!(find("mpi_bytes_sent") > 0);
+            assert_eq!(find("mpi_msgs_sent"), find("mpi_msgs_received"));
+        });
+    }
+
+    #[test]
+    fn trace_events_file_is_chrome_loadable() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel", "blur", "--variant", "omp_tiled", "--size", "32", "--tile-size",
+                "8", "--iterations", "2", "--threads", "2", "--no-display", "--trace-events",
+                "out.json",
+            ])
+            .unwrap();
+            assert!(out.contains("trace events ("), "{out}");
+            let text = std::fs::read_to_string("out.json").unwrap();
+            let j = ezp_core::json::Json::parse(&text).unwrap();
+            let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+            // thread metadata + 2 iterations + 2*16 tiles + spans
+            assert!(events.len() >= 3 + 2 + 32, "only {} events", events.len());
+            assert!(events.iter().any(|e| e
+                .field::<String>("ph")
+                .map(|p| p == "X")
+                .unwrap_or(false)));
         });
     }
 

@@ -16,6 +16,37 @@ use crate::params::RunConfig;
 use crate::WorkerId;
 use std::sync::Arc;
 
+/// A scheduler/runtime event reported through [`Probe::runtime_event`].
+///
+/// These are the counter-shaped observations the scheduling layer can
+/// make but has nowhere to store: how work was carved up, how long a
+/// worker waited for its next chunk, whether it had to steal. Probes
+/// that care (the `ezp-perf` counter probe) accumulate them into named
+/// per-worker counters; everyone else inherits the no-op default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeEvent {
+    /// A dispenser handed `len` iterations to the worker in one chunk.
+    ChunkDispensed {
+        /// Number of loop iterations in the chunk.
+        len: usize,
+    },
+    /// Work-stealing activity of the worker over one parallel loop
+    /// (reported once per loop, after the dispenser is drained).
+    Steals {
+        /// Times the worker entered steal mode (local range empty).
+        attempted: u64,
+        /// Steals that actually obtained work from a victim.
+        succeeded: u64,
+    },
+    /// Nanoseconds the worker spent inside the dispenser waiting for /
+    /// acquiring its next chunk (lock contention, steal scans).
+    IdleNs(u64),
+    /// The worker ran out of work and reached the end-of-loop barrier.
+    BarrierWait,
+    /// The worker waited for ready tasks in a task-graph run.
+    TaskWait,
+}
+
 /// Instrumentation hooks — the Rust face of the paper's
 /// `monitoring_start_tile` / `monitoring_end_tile` calls (§II-B).
 ///
@@ -33,6 +64,15 @@ pub trait Probe: Send + Sync {
     fn start_tile(&self, _worker: WorkerId) {}
     /// Worker `worker` finished the tile with the given pixel rectangle.
     fn end_tile(&self, _x: usize, _y: usize, _w: usize, _h: usize, _worker: WorkerId) {}
+    /// A scheduler event occurred on `worker` (see [`RuntimeEvent`]).
+    fn runtime_event(&self, _worker: WorkerId, _event: RuntimeEvent) {}
+    /// Whether this probe consumes [`RuntimeEvent`]s. The scheduling
+    /// layer checks this once per parallel loop and skips the clock
+    /// reads that feed `IdleNs` when nobody is listening, keeping the
+    /// uninstrumented hot path free of timer calls.
+    fn wants_runtime_events(&self) -> bool {
+        false
+    }
 }
 
 /// A probe that records nothing — used by the performance mode, where
@@ -75,6 +115,14 @@ impl Probe for MultiProbe {
         for p in &self.probes {
             p.end_tile(x, y, w, h, worker);
         }
+    }
+    fn runtime_event(&self, worker: WorkerId, event: RuntimeEvent) {
+        for p in &self.probes {
+            p.runtime_event(worker, event);
+        }
+    }
+    fn wants_runtime_events(&self) -> bool {
+        self.probes.iter().any(|p| p.wants_runtime_events())
     }
 }
 
@@ -151,6 +199,14 @@ pub trait Kernel: Send {
     fn refresh_image(&mut self, _ctx: &mut KernelCtx) -> Result<()> {
         Ok(())
     }
+
+    /// Extra named counters collected during `compute`, as
+    /// `(name, per_worker_values)` rows — e.g. the per-rank MPI
+    /// communication counts of a distributed variant. `--stats` merges
+    /// them into the run's counter snapshot; most kernels have none.
+    fn stats_counters(&self) -> Vec<(String, Vec<u64>)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +265,29 @@ mod tests {
             assert_eq!(p.starts.load(Ordering::Relaxed), 1);
             assert_eq!(p.ends.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn runtime_events_fan_out_and_gate() {
+        struct EventProbe(AtomicUsize);
+        impl Probe for EventProbe {
+            fn runtime_event(&self, _: WorkerId, _: RuntimeEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn wants_runtime_events(&self) -> bool {
+                true
+            }
+        }
+        // a composite of silent probes stays silent...
+        let silent = MultiProbe::new(vec![Arc::new(CountingProbe::default())]);
+        assert!(!silent.wants_runtime_events());
+        // ...one listener flips the gate for the whole stack
+        let loud = Arc::new(EventProbe(AtomicUsize::new(0)));
+        let multi = MultiProbe::new(vec![Arc::new(CountingProbe::default()), loud.clone()]);
+        assert!(multi.wants_runtime_events());
+        multi.runtime_event(0, RuntimeEvent::BarrierWait);
+        multi.runtime_event(1, RuntimeEvent::ChunkDispensed { len: 4 });
+        assert_eq!(loud.0.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod grid;
 pub mod img;
 pub mod json;
 pub mod kernel;
+pub mod log;
 pub mod params;
 pub mod perf;
 pub mod registry;

@@ -108,6 +108,32 @@ pub enum DisplayMode {
     Monitoring,
 }
 
+/// Output format of the `--stats` runtime-counter report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Prometheus-style text exposition (`--stats` / `--stats=text`).
+    #[default]
+    Text,
+    /// One JSON object (`--stats=json`).
+    Json,
+    /// `counter,worker,value` rows (`--stats=csv`).
+    Csv,
+}
+
+impl StatsFormat {
+    /// Parses the value of `--stats=<fmt>`.
+    pub fn parse(s: &str) -> Result<StatsFormat> {
+        match s {
+            "text" | "prometheus" => Ok(StatsFormat::Text),
+            "json" => Ok(StatsFormat::Json),
+            "csv" => Ok(StatsFormat::Csv),
+            other => Err(Error::Config(format!(
+                "--stats: unknown format `{other}` (expected text, json or csv)"
+            ))),
+        }
+    }
+}
+
 /// Fully parsed run configuration — the Rust face of the `easypap`
 /// command line plus the OpenMP ICVs (`OMP_NUM_THREADS`, `OMP_SCHEDULE`).
 #[derive(Clone, Debug, PartialEq)]
@@ -134,6 +160,9 @@ pub struct RunConfig {
     pub trace_file: String,
     /// `--mpirun "-np N"`: number of simulated MPI ranks (1 = no MPI).
     pub mpi_ranks: usize,
+    /// `--debug <flags>` was given: diagnostic logging is wanted (the
+    /// CLI raises the [`crate::log`] level to `Debug`).
+    pub debug: bool,
     /// `--debug M`: show monitor windows of every MPI rank (Fig. 13).
     pub debug_mpi: bool,
     /// `--arg`: free-form kernel argument (e.g. `life` initial pattern).
@@ -146,6 +175,12 @@ pub struct RunConfig {
     pub ansi: bool,
     /// Seed for randomized kernels, so runs are reproducible.
     pub seed: u64,
+    /// `--stats[=text|json|csv]`: emit the runtime-counter report after
+    /// the run (`None` = no report).
+    pub stats: Option<StatsFormat>,
+    /// `--trace-events FILE`: write a Chrome Trace Event Format timeline
+    /// loadable by `chrome://tracing` / Perfetto.
+    pub trace_events: Option<String>,
 }
 
 impl Default for RunConfig {
@@ -162,11 +197,14 @@ impl Default for RunConfig {
             trace: false,
             trace_file: "trace.ezv".to_string(),
             mpi_ranks: 1,
+            debug: false,
             debug_mpi: false,
             kernel_arg: None,
             frames_dir: None,
             ansi: false,
             seed: 42,
+            stats: None,
+            trace_events: None,
         }
     }
 }
@@ -259,6 +297,7 @@ impl RunConfig {
                 }
                 "--debug" => {
                     let flags = need_value(&mut it, arg)?;
+                    cfg.debug = true;
                     if flags.contains('M') {
                         cfg.debug_mpi = true;
                     }
@@ -267,7 +306,12 @@ impl RunConfig {
                 "--frames" => cfg.frames_dir = Some(need_value(&mut it, arg)?),
                 "--ansi" => cfg.ansi = true,
                 "--seed" => cfg.seed = parse_num(&need_value(&mut it, arg)?, arg)? as u64,
-                other => return Err(Error::Config(format!("unknown option `{other}`"))),
+                "--stats" => cfg.stats = Some(StatsFormat::Text),
+                "--trace-events" => cfg.trace_events = Some(need_value(&mut it, arg)?),
+                other => match other.strip_prefix("--stats=") {
+                    Some(fmt) => cfg.stats = Some(StatsFormat::parse(fmt)?),
+                    None => return Err(Error::Config(format!("unknown option `{other}`"))),
+                },
             }
         }
         cfg.validate()?;
@@ -462,6 +506,26 @@ mod tests {
         let plain = RunConfig::parse_args(["--kernel", "spin"]).unwrap();
         assert!(plain.frames_dir.is_none());
         assert!(!plain.ansi);
+    }
+
+    #[test]
+    fn stats_and_trace_events_options() {
+        let cfg = RunConfig::parse_args(["--kernel", "life", "--stats"]).unwrap();
+        assert_eq!(cfg.stats, Some(StatsFormat::Text));
+        let cfg = RunConfig::parse_args(["--kernel", "life", "--stats=json"]).unwrap();
+        assert_eq!(cfg.stats, Some(StatsFormat::Json));
+        let cfg = RunConfig::parse_args(["--kernel", "life", "--stats=csv"]).unwrap();
+        assert_eq!(cfg.stats, Some(StatsFormat::Csv));
+        let cfg = RunConfig::parse_args(["--kernel", "life", "--stats=text"]).unwrap();
+        assert_eq!(cfg.stats, Some(StatsFormat::Text));
+        assert!(RunConfig::parse_args(["--kernel", "life", "--stats=xml"]).is_err());
+        let cfg =
+            RunConfig::parse_args(["--kernel", "life", "--trace-events", "out.json"]).unwrap();
+        assert_eq!(cfg.trace_events.as_deref(), Some("out.json"));
+        assert!(RunConfig::parse_args(["--kernel", "life", "--trace-events"]).is_err());
+        let plain = RunConfig::parse_args(["--kernel", "life"]).unwrap();
+        assert_eq!(plain.stats, None);
+        assert_eq!(plain.trace_events, None);
     }
 
     #[test]

@@ -106,6 +106,16 @@ pub fn run_kernel(
     cfg: RunConfig,
     probe: Arc<dyn Probe>,
 ) -> Result<(RunOutcome, KernelCtx)> {
+    run_kernel_boxed(registry, cfg, probe).map(|(outcome, ctx, _)| (outcome, ctx))
+}
+
+/// [`run_kernel`], additionally returning the kernel instance so callers
+/// can query post-run state (e.g. [`crate::Kernel::stats_counters`]).
+pub fn run_kernel_boxed(
+    registry: &Registry,
+    cfg: RunConfig,
+    probe: Arc<dyn Probe>,
+) -> Result<(RunOutcome, KernelCtx, Box<dyn crate::Kernel>)> {
     cfg.validate()?;
     let mut kernel = registry.create_variant(&cfg.kernel, &cfg.variant)?;
     let iterations = cfg.iterations;
@@ -126,6 +136,7 @@ pub fn run_kernel(
             converged_at,
         },
         ctx,
+        kernel,
     ))
 }
 

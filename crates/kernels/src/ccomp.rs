@@ -181,7 +181,7 @@ impl CComp {
         let changed = AtomicBool::new(false);
         let probe = &*ctx.probe;
         let down = TaskGraph::down_right_wavefront(grid);
-        down.run(pool, |task, rank| {
+        down.run_probed(pool, probe, |task, rank| {
             let t = grid.tile_at(task);
             probe.start_tile(rank);
             if labels.down_right_tile(t) {
@@ -190,7 +190,7 @@ impl CComp {
             probe.end_tile(t.x, t.y, t.w, t.h, rank);
         })?;
         let up = TaskGraph::up_left_wavefront(grid);
-        up.run(pool, |task, rank| {
+        up.run_probed(pool, probe, |task, rank| {
             let t = grid.tile_at(task);
             probe.start_tile(rank);
             if labels.up_left_tile(t) {

@@ -23,8 +23,8 @@ use ezp_core::error::{Error, Result};
 use ezp_core::kernel::Probe;
 use ezp_core::{Kernel, KernelCtx, Rgba, TileGrid};
 use ezp_monitor::{Monitor, MonitorReport};
-use ezp_mpi::{collective, ghost, BlockRows};
-use ezp_sched::{parallel_for_range, WorkerPool};
+use ezp_mpi::{collective, ghost, BlockRows, CommStats};
+use ezp_sched::{parallel_for_range_probed, WorkerPool};
 use ezp_testkit::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -40,6 +40,9 @@ pub struct Life {
     /// Per-rank monitoring reports of the last `mpi_omp` run — the data
     /// behind the per-process windows of `--debug M` (Fig. 13).
     pub last_mpi_reports: Vec<MonitorReport>,
+    /// Per-rank communication counters of the last `mpi_omp` run
+    /// (messages, bytes, collectives) — merged into `--stats` output.
+    pub last_mpi_comm_stats: Vec<CommStats>,
 }
 
 impl Default for Life {
@@ -49,6 +52,7 @@ impl Default for Life {
             next: BitBoard::new(1, 1),
             changed: Vec::new(),
             last_mpi_reports: Vec::new(),
+            last_mpi_comm_stats: Vec::new(),
         }
     }
 }
@@ -149,7 +153,7 @@ impl Life {
                 let cur = &self.cur;
                 let next = &self.next;
                 let probe = &*ctx.probe;
-                parallel_for_range(&mut pool, bands, schedule, |b, rank| {
+                parallel_for_range_probed(&mut pool, bands, schedule, probe, |b, rank| {
                     let y0 = b * band;
                     let y1 = (y0 + band).min(dim);
                     probe.start_tile(rank);
@@ -188,7 +192,7 @@ impl Life {
                 let next = &self.next;
                 let prev_changed = &self.changed;
                 let probe = &*ctx.probe;
-                parallel_for_range(&mut pool, grid.len(), schedule, |i, rank| {
+                parallel_for_range_probed(&mut pool, grid.len(), schedule, probe, |i, rank| {
                     let tile = grid.tile_at(i);
                     if lazy && !neighbourhood_changed(&grid, prev_changed, tile.tx, tile.ty) {
                         return; // steady neighbourhood: skip, no events
@@ -236,7 +240,8 @@ impl Life {
             converged_at: Option<u32>,
         }
 
-        let results = ezp_mpi::run(np, |comm| -> Result<RankResult> {
+        let probe = &*ctx.probe;
+        let (results, comm_stats) = ezp_mpi::run_with_stats(np, |comm| -> Result<RankResult> {
             let block = BlockRows::new(comm, dim);
             let (r0, r1) = block.my_range();
             // full-size local board, only rows [r0-1, r1] materialized
@@ -313,10 +318,11 @@ impl Life {
                     let changed_now_ref = &changed_now;
                     let my_tiles_ref = &my_tiles;
                     let monitor_ref = &monitor;
-                    parallel_for_range(
+                    parallel_for_range_probed(
                         &mut pool,
                         my_tiles_ref.len(),
                         ctx.cfg.schedule,
+                        probe,
                         |k, rank| {
                             let i = my_tiles_ref[k];
                             let mut tile = grid.tile_at(i);
@@ -374,6 +380,7 @@ impl Life {
 
         // rebuild the global board and stash the per-rank reports
         self.last_mpi_reports.clear();
+        self.last_mpi_comm_stats = comm_stats;
         let mut converged = Some(0u32);
         for r in results {
             for (dy, row) in r.rows.iter().enumerate() {
@@ -445,6 +452,27 @@ impl Kernel for Life {
     fn refresh_image(&mut self, ctx: &mut KernelCtx) -> Result<()> {
         self.cur.paint(ctx.images.cur_mut(), LIVE);
         Ok(())
+    }
+
+    fn stats_counters(&self) -> Vec<(String, Vec<u64>)> {
+        if self.last_mpi_comm_stats.is_empty() {
+            return Vec::new();
+        }
+        let per_rank = |f: fn(&CommStats) -> u64| -> Vec<u64> {
+            self.last_mpi_comm_stats.iter().map(f).collect()
+        };
+        vec![
+            ("mpi_msgs_sent".into(), per_rank(|s| s.msgs_sent)),
+            ("mpi_bytes_sent".into(), per_rank(|s| s.bytes_sent)),
+            ("mpi_msgs_received".into(), per_rank(|s| s.msgs_received)),
+            ("mpi_bytes_received".into(), per_rank(|s| s.bytes_received)),
+            ("mpi_barriers".into(), per_rank(|s| s.barriers)),
+            ("mpi_broadcasts".into(), per_rank(|s| s.broadcasts)),
+            ("mpi_gathers".into(), per_rank(|s| s.gathers)),
+            ("mpi_scatters".into(), per_rank(|s| s.scatters)),
+            ("mpi_reduces".into(), per_rank(|s| s.reduces)),
+            ("mpi_alltoalls".into(), per_rank(|s| s.alltoalls)),
+        ]
     }
 }
 

@@ -22,8 +22,10 @@ pub mod live;
 pub mod record;
 pub mod report;
 pub mod tiling;
+pub mod unified;
 
 pub use live::Monitor;
 pub use record::TileRecord;
 pub use report::{IterationStats, MonitorReport};
 pub use tiling::{HeatMap, TilingSnapshot};
+pub use unified::UnifiedReport;

@@ -75,9 +75,34 @@ impl IterationStats {
     }
 
     /// Cumulated idleness across all workers — one point of the history
-    /// diagram "at the bottom of the window" (§II-B).
+    /// diagram "at the bottom of the window" (§II-B). Saturates instead
+    /// of overflowing when an iteration carries the `u64::MAX` "still
+    /// open" sentinel.
     pub fn total_idle_ns(&self) -> u64 {
-        (0..self.busy_ns.len()).map(|w| self.idle_ns(w)).sum()
+        (0..self.busy_ns.len()).fold(0u64, |acc, w| acc.saturating_add(self.idle_ns(w)))
+    }
+
+    /// Busiest and laziest worker of the iteration as `(max, min)` busy
+    /// nanoseconds (`(0, 0)` with no workers).
+    pub fn busy_extremes(&self) -> (u64, u64) {
+        let max = self.busy_ns.iter().copied().max().unwrap_or(0);
+        let min = self.busy_ns.iter().copied().min().unwrap_or(0);
+        (max, min)
+    }
+
+    /// Steal-style imbalance: max busy / min busy. `1.0` when every
+    /// worker was equally (possibly zero) busy, `f64::INFINITY` when at
+    /// least one worker did work while another sat fully idle — the
+    /// signature of a static schedule on an irregular kernel (Fig. 3).
+    pub fn busy_ratio(&self) -> f64 {
+        let (max, min) = self.busy_extremes();
+        if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
     }
 
     /// Load imbalance ratio: max busy / mean busy (1.0 = perfect balance).
@@ -140,8 +165,11 @@ impl MonitorReport {
         let mut busy_ns = vec![0u64; self.workers];
         let mut tiles = vec![0usize; self.workers];
         for r in self.records_of_iteration(it) {
-            busy_ns[r.worker] += r.duration_ns();
-            tiles[r.worker] += 1;
+            // fold out-of-range workers into the last slot rather than
+            // panicking on a malformed record; saturate like duration_ns
+            let w = r.worker.min(self.workers.saturating_sub(1));
+            busy_ns[w] = busy_ns[w].saturating_add(r.duration_ns());
+            tiles[w] += 1;
         }
         Some(IterationStats {
             span,
@@ -166,7 +194,7 @@ impl MonitorReport {
         self.all_stats()
             .iter()
             .map(|s| {
-                acc += s.total_idle_ns();
+                acc = acc.saturating_add(s.total_idle_ns());
                 (s.span.iteration, acc)
             })
             .collect()
@@ -182,9 +210,11 @@ impl MonitorReport {
         HeatMap::from_records(&self.grid, self.records_of_iteration(it))
     }
 
-    /// Total busy time across all workers and iterations.
+    /// Total busy time across all workers and iterations (saturating).
     pub fn total_busy_ns(&self) -> u64 {
-        self.records.iter().map(|r| r.duration_ns()).sum()
+        self.records
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.duration_ns()))
     }
 }
 
@@ -284,6 +314,71 @@ mod tests {
         assert!((s2.imbalance() - 1.6).abs() < 1e-9);
         let s1 = rep.iteration_stats(1).unwrap();
         assert!(s2.imbalance() > s1.imbalance());
+    }
+
+    #[test]
+    fn busy_ratio_spots_the_lazy_worker() {
+        let rep = sample_report();
+        let s1 = rep.iteration_stats(1).unwrap();
+        assert_eq!(s1.busy_extremes(), (90, 50));
+        assert!((s1.busy_ratio() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_ratio_edge_cases() {
+        let all_idle = IterationStats {
+            span: IterationSpan {
+                iteration: 1,
+                start_ns: 0,
+                end_ns: 100,
+            },
+            busy_ns: vec![0, 0],
+            tiles: vec![0, 0],
+        };
+        assert_eq!(all_idle.busy_ratio(), 1.0);
+        let one_idle = IterationStats {
+            busy_ns: vec![40, 0],
+            tiles: vec![1, 0],
+            ..all_idle.clone()
+        };
+        assert_eq!(one_idle.busy_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn open_iteration_sentinel_does_not_overflow_idle_totals() {
+        let grid = TileGrid::square(16, 16).unwrap();
+        let rep = MonitorReport::new(
+            4,
+            grid,
+            vec![IterationSpan {
+                iteration: 1,
+                start_ns: 0,
+                end_ns: u64::MAX, // still open
+            }],
+            vec![rec(1, 0, 0, 60, 0, 0)],
+        );
+        let s = rep.iteration_stats(1).unwrap();
+        // 4 workers x ~u64::MAX idle each: must saturate, not panic
+        assert_eq!(s.total_idle_ns(), u64::MAX);
+        assert_eq!(rep.idleness_history(), vec![(1, u64::MAX)]);
+    }
+
+    #[test]
+    fn out_of_range_worker_folds_into_last_slot() {
+        let grid = TileGrid::square(16, 16).unwrap();
+        let rep = MonitorReport::new(
+            2,
+            grid,
+            vec![IterationSpan {
+                iteration: 1,
+                start_ns: 0,
+                end_ns: 100,
+            }],
+            vec![rec(1, 9, 0, 30, 0, 0)], // worker 9 of 2
+        );
+        let s = rep.iteration_stats(1).unwrap();
+        assert_eq!(s.busy_ns, vec![0, 30]);
+        assert_eq!(s.tiles, vec![0, 1]);
     }
 
     #[test]

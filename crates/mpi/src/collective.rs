@@ -23,6 +23,7 @@ pub fn broadcast<T: ToJson + FromJson + Clone>(
     root: usize,
     value: Option<T>,
 ) -> Result<T> {
+    comm.note(|s| s.broadcasts += 1);
     if comm.rank() == root {
         let v = value.expect("root must provide the broadcast value");
         for dst in 0..comm.size() {
@@ -43,6 +44,7 @@ pub fn gather<T: ToJson + FromJson>(
     root: usize,
     value: &T,
 ) -> Result<Option<Vec<T>>> {
+    comm.note(|s| s.gathers += 1);
     if comm.rank() == root {
         // receive from each rank *by source*: taking "any" message here
         // could steal a later collective's payload from a fast rank
@@ -67,6 +69,7 @@ pub fn scatter<T: ToJson + FromJson>(
     root: usize,
     values: Option<Vec<T>>,
 ) -> Result<T> {
+    comm.note(|s| s.scatters += 1);
     if comm.rank() == root {
         let values = values.expect("root must provide the scatter values");
         assert_eq!(values.len(), comm.size(), "one value per rank");
@@ -91,6 +94,7 @@ where
     T: ToJson + FromJson,
     F: Fn(T, T) -> T,
 {
+    comm.note(|s| s.reduces += 1);
     if comm.rank() == root {
         // per-source receives keep successive reduce calls in lockstep
         // (non-root ranks do not block after sending)
@@ -116,6 +120,7 @@ where
     T: ToJson + FromJson + Clone,
     F: Fn(T, T) -> T,
 {
+    comm.note(|s| s.reduces += 1);
     const ROOT: usize = 0;
     if comm.rank() == ROOT {
         let mut acc = value;
@@ -144,6 +149,7 @@ pub fn allreduce_sum(comm: &Comm, value: u64) -> Result<u64> {
 /// Personalized all-to-all (`MPI_Alltoall`): rank `i` sends
 /// `values[j]` to rank `j` and returns what every rank sent to `i`.
 pub fn alltoall<T: ToJson + FromJson>(comm: &Comm, values: Vec<T>) -> Result<Vec<T>> {
+    comm.note(|s| s.alltoalls += 1);
     assert_eq!(values.len(), comm.size(), "one value per destination");
     let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
     for (dst, v) in values.iter().enumerate() {
@@ -300,6 +306,31 @@ mod tests {
             let round = round as u64;
             assert_eq!(*s, 3 * round * 100 + 3, "reduce round {round} mixed");
             assert_eq!(g, &vec![round, 1000 + round, 2000 + round], "gather round {round} mixed");
+        }
+    }
+
+    #[test]
+    fn collectives_are_counted_per_rank() {
+        let (_, stats) = crate::comm::run_with_stats(3, |comm| {
+            broadcast(comm, 0, (comm.rank() == 0).then_some(1u32))?;
+            gather(comm, 0, &comm.rank())?;
+            let v = if comm.rank() == 0 {
+                scatter(comm, 0, Some(vec![1u32, 2, 3]))?
+            } else {
+                scatter::<u32>(comm, 0, None)?
+            };
+            allreduce_sum(comm, v as u64)?;
+            alltoall(comm, vec![0u32, 1, 2])?;
+            Ok(())
+        })
+        .unwrap();
+        for st in &stats {
+            // allreduce = reduce + an internal broadcast
+            assert_eq!(st.broadcasts, 2);
+            assert_eq!(st.gathers, 1);
+            assert_eq!(st.scatters, 1);
+            assert_eq!(st.reduces, 1);
+            assert_eq!(st.alltoalls, 1);
         }
     }
 

@@ -28,6 +28,67 @@ struct Message {
     payload: Vec<u8>,
 }
 
+/// Per-rank communication counters, filled in centrally by [`Comm`] so
+/// every variant gets them for free. Bytes are serialized-payload bytes
+/// (what would travel the wire in a real MPI).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives included).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Barrier entries.
+    pub barriers: u64,
+    /// Broadcast participations.
+    pub broadcasts: u64,
+    /// Gather participations.
+    pub gathers: u64,
+    /// Scatter participations.
+    pub scatters: u64,
+    /// Reduce/all-reduce participations.
+    pub reduces: u64,
+    /// All-to-all participations.
+    pub alltoalls: u64,
+}
+
+impl ToJson for CommStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("msgs_sent", self.msgs_sent.to_json()),
+            ("bytes_sent", self.bytes_sent.to_json()),
+            ("msgs_received", self.msgs_received.to_json()),
+            ("bytes_received", self.bytes_received.to_json()),
+            ("barriers", self.barriers.to_json()),
+            ("broadcasts", self.broadcasts.to_json()),
+            ("gathers", self.gathers.to_json()),
+            ("scatters", self.scatters.to_json()),
+            ("reduces", self.reduces.to_json()),
+            ("alltoalls", self.alltoalls.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CommStats {
+    fn from_json(v: &Json) -> Result<Self> {
+        Ok(CommStats {
+            msgs_sent: v.field("msgs_sent")?,
+            bytes_sent: v.field("bytes_sent")?,
+            msgs_received: v.field("msgs_received")?,
+            bytes_received: v.field("bytes_received")?,
+            barriers: v.field("barriers")?,
+            broadcasts: v.field("broadcasts")?,
+            gathers: v.field("gathers")?,
+            scatters: v.field("scatters")?,
+            reduces: v.field("reduces")?,
+            alltoalls: v.field("alltoalls")?,
+        })
+    }
+}
+
 /// The per-rank communicator handle (an `MPI_COMM_WORLD` member).
 pub struct Comm {
     rank: usize,
@@ -37,6 +98,9 @@ pub struct Comm {
     /// Received-but-not-yet-requested messages (selective reception).
     pending: RefCell<Vec<Message>>,
     barrier: Arc<Barrier>,
+    /// Communication counters; `RefCell` because a `Comm` is owned by
+    /// one rank thread (same argument as `pending`).
+    stats: RefCell<CommStats>,
 }
 
 impl Comm {
@@ -59,6 +123,11 @@ impl Comm {
             )));
         }
         let payload = value.to_json().dump().into_bytes();
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_sent += 1;
+            st.bytes_sent += payload.len() as u64;
+        }
         self.senders[dst]
             .send(Message {
                 src: self.rank,
@@ -90,6 +159,7 @@ impl Comm {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(&matches) {
                 let m = pending.remove(pos);
+                self.note_received(&m);
                 return decode(m);
             }
         }
@@ -99,10 +169,27 @@ impl Comm {
                 .recv()
                 .map_err(|_| Error::Mpi("world has shut down".into()))?;
             if matches(&m) {
+                self.note_received(&m);
                 return decode(m);
             }
             self.pending.borrow_mut().push(m);
         }
+    }
+
+    fn note_received(&self, m: &Message) {
+        let mut st = self.stats.borrow_mut();
+        st.msgs_received += 1;
+        st.bytes_received += m.payload.len() as u64;
+    }
+
+    /// Counter hook for the collectives module.
+    pub(crate) fn note(&self, f: impl FnOnce(&mut CommStats)) {
+        f(&mut self.stats.borrow_mut());
+    }
+
+    /// This rank's communication counters so far.
+    pub fn stats(&self) -> CommStats {
+        *self.stats.borrow()
     }
 
     /// Simultaneous send+receive with the same peer — the deadlock-free
@@ -122,6 +209,7 @@ impl Comm {
 
     /// Synchronizes all ranks (`MPI_Barrier`).
     pub fn barrier(&self) {
+        self.stats.borrow_mut().barriers += 1;
         self.barrier.wait();
     }
 }
@@ -151,6 +239,17 @@ where
     R: Send,
     F: Fn(&Comm) -> Result<R> + Sync,
 {
+    run_with_stats(np, f).map(|(results, _)| results)
+}
+
+/// [`run`], also returning each rank's [`CommStats`] (messages, bytes,
+/// barriers and per-collective counts) so `--stats` can show the
+/// communication side of an MPI variant.
+pub fn run_with_stats<R, F>(np: usize, f: F) -> Result<(Vec<R>, Vec<CommStats>)>
+where
+    R: Send,
+    F: Fn(&Comm) -> Result<R> + Sync,
+{
     if np == 0 {
         return Err(Error::Mpi("world size must be > 0".into()));
     }
@@ -172,11 +271,12 @@ where
             receiver,
             pending: RefCell::new(Vec::new()),
             barrier: barrier.clone(),
+            stats: RefCell::new(CommStats::default()),
         })
         .collect();
     drop(senders);
 
-    let mut results: Vec<Option<Result<R>>> = Vec::new();
+    let mut results: Vec<Option<(Result<R>, CommStats)>> = Vec::new();
     for _ in 0..np {
         results.push(None);
     }
@@ -185,20 +285,32 @@ where
             .into_iter()
             .map(|comm| {
                 let f = &f;
-                s.spawn(move || f(&comm))
+                s.spawn(move || {
+                    let r = f(&comm);
+                    (r, comm.stats())
+                })
             })
             .collect();
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
                 Ok(r) => results[rank] = Some(r),
-                Err(_) => results[rank] = Some(Err(Error::Mpi(format!("rank {rank} panicked")))),
+                Err(_) => {
+                    results[rank] = Some((
+                        Err(Error::Mpi(format!("rank {rank} panicked"))),
+                        CommStats::default(),
+                    ))
+                }
             }
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every rank joined"))
-        .collect()
+    let mut values = Vec::with_capacity(np);
+    let mut stats = Vec::with_capacity(np);
+    for r in results {
+        let (value, st) = r.expect("every rank joined");
+        values.push(value?);
+        stats.push(st);
+    }
+    Ok((values, stats))
 }
 
 #[cfg(test)]
@@ -359,6 +471,45 @@ mod tests {
             Ok(comm.rank())
         });
         assert!(got.is_err());
+    }
+
+    #[test]
+    fn comm_stats_count_messages_bytes_and_barriers() {
+        let (got, stats) = run_with_stats(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 0, &comm.rank())?;
+            let v: usize = comm.recv(peer, 0)?;
+            comm.barrier();
+            Ok(v)
+        })
+        .unwrap();
+        assert_eq!(got, vec![1, 0]);
+        for st in &stats {
+            assert_eq!(st.msgs_sent, 1);
+            assert_eq!(st.msgs_received, 1);
+            // both ranks ship a 1-byte JSON number ("0" / "1")
+            assert_eq!(st.bytes_sent, 1);
+            assert_eq!(st.bytes_received, 1);
+            assert_eq!(st.barriers, 1);
+        }
+    }
+
+    #[test]
+    fn comm_stats_json_round_trips() {
+        let st = CommStats {
+            msgs_sent: 3,
+            bytes_sent: u64::MAX,
+            msgs_received: 2,
+            bytes_received: 40,
+            barriers: 1,
+            broadcasts: 5,
+            gathers: 6,
+            scatters: 7,
+            reduces: 8,
+            alltoalls: 9,
+        };
+        let back = CommStats::from_json(&Json::parse(&st.to_json().dump()).unwrap()).unwrap();
+        assert_eq!(back, st);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Snapshot exporters: Prometheus-style text, CSV, and span JSON.
+//!
+//! JSON export for counters is the `ToJson` impl on
+//! [`CounterSnapshot`](crate::CounterSnapshot); Chrome traces live in
+//! [`trace_event`](crate::trace_event). This module holds the remaining
+//! text formats plus a Prometheus *parser* so snapshot round-trips can
+//! be property-tested without a real Prometheus.
+
+use crate::counters::CounterSnapshot;
+use crate::span::SpanRecord;
+use ezp_core::json::{Json, ToJson};
+use ezp_core::{Error, Result};
+use std::fmt::Write as _;
+
+/// Metric-name prefix for every exported counter.
+pub const PROM_PREFIX: &str = "ezp_";
+
+/// Renders a snapshot in the Prometheus text exposition format: one
+/// `# TYPE` line per counter, one `{worker="N"}`-labeled sample per
+/// worker slot, and an unlabeled total.
+pub fn to_prometheus(snap: &CounterSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let _ = writeln!(out, "# TYPE {PROM_PREFIX}{} counter", c.name);
+        for (w, v) in c.per_worker.iter().enumerate() {
+            let _ = writeln!(out, "{PROM_PREFIX}{}{{worker=\"{w}\"}} {v}", c.name);
+        }
+        let _ = writeln!(out, "{PROM_PREFIX}{} {}", c.name, c.total());
+    }
+    out
+}
+
+/// Parses text produced by [`to_prometheus`] back into a snapshot.
+/// Exists so the export path is testable end-to-end; it handles exactly
+/// the subset this crate emits (counters with a `worker` label).
+pub fn from_prometheus(text: &str) -> Result<CounterSnapshot> {
+    let mut snap = CounterSnapshot::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| Error::Config(format!("prometheus line {}: {msg}", lineno + 1));
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected `name value`"))?;
+        let value: u64 = value.parse().map_err(|_| err("bad sample value"))?;
+        let metric = metric
+            .strip_prefix(PROM_PREFIX)
+            .ok_or_else(|| err("metric without ezp_ prefix"))?;
+        match metric.split_once('{') {
+            Some((name, labels)) => {
+                let worker: usize = labels
+                    .strip_prefix("worker=\"")
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+                    .ok_or_else(|| err("expected worker=\"N\" label"))?
+                    .parse()
+                    .map_err(|_| err("bad worker index"))?;
+                if snap.get(name).is_none() {
+                    snap.push(name, Vec::new());
+                }
+                let c = snap
+                    .counters
+                    .iter_mut()
+                    .find(|c| c.name == name)
+                    .expect("just pushed");
+                if c.per_worker.len() <= worker {
+                    c.per_worker.resize(worker + 1, 0);
+                }
+                c.per_worker[worker] = value;
+                snap.workers = snap.workers.max(worker + 1);
+            }
+            None => {
+                // unlabeled total: cross-check against the labeled samples
+                if let Some(c) = snap.get(metric) {
+                    if c.total() != value {
+                        return Err(err("total disagrees with worker samples"));
+                    }
+                }
+            }
+        }
+    }
+    // uniform width, so parse(print(s)) == s for real snapshots
+    for c in &mut snap.counters {
+        c.per_worker.resize(snap.workers, 0);
+    }
+    Ok(snap)
+}
+
+/// Renders a snapshot as `counter,worker,value` CSV (plus a `total`
+/// pseudo-worker row per counter) for spreadsheet-side analysis.
+pub fn to_csv(snap: &CounterSnapshot) -> String {
+    let mut out = String::from("counter,worker,value\n");
+    for c in &snap.counters {
+        for (w, v) in c.per_worker.iter().enumerate() {
+            let _ = writeln!(out, "{},{w},{v}", c.name);
+        }
+        let _ = writeln!(out, "{},total,{}", c.name, c.total());
+    }
+    out
+}
+
+/// Spans as a JSON array (each `{name, worker, start_ns, end_ns}`).
+pub fn spans_to_json(spans: &[SpanRecord]) -> Json {
+    Json::Arr(spans.iter().map(ToJson::to_json).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterSet;
+    use ezp_testkit::ezp_proptest;
+
+    fn sample() -> CounterSnapshot {
+        let mut set = CounterSet::new(2);
+        let a = set.register("tasks_executed");
+        let b = set.register("idle_ns");
+        set.add(a, 0, 7);
+        set.add(a, 1, 5);
+        set.add(b, 1, 123_456);
+        set.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE ezp_tasks_executed counter"));
+        assert!(text.contains("ezp_tasks_executed{worker=\"0\"} 7"));
+        assert!(text.contains("ezp_tasks_executed{worker=\"1\"} 5"));
+        assert!(text.contains("\nezp_tasks_executed 12\n"));
+        assert!(text.contains("ezp_idle_ns 123456"));
+    }
+
+    #[test]
+    fn prometheus_round_trips() {
+        let snap = sample();
+        let back = from_prometheus(&to_prometheus(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_garbage() {
+        assert!(from_prometheus("ezp_x{worker=\"0\"} nope").is_err());
+        assert!(from_prometheus("tasks{worker=\"0\"} 1").is_err(), "missing prefix");
+        assert!(
+            from_prometheus("ezp_x{worker=\"0\"} 1\nezp_x 5").is_err(),
+            "total mismatch"
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_totals() {
+        let text = to_csv(&sample());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("counter,worker,value"));
+        assert!(text.contains("tasks_executed,1,5"));
+        assert!(text.contains("tasks_executed,total,12"));
+    }
+
+    #[test]
+    fn spans_json_is_an_array() {
+        let spans = vec![SpanRecord {
+            name: "iteration",
+            worker: 0,
+            start_ns: 1,
+            end_ns: 2,
+        }];
+        let j = spans_to_json(&spans);
+        let items = j.as_arr().unwrap();
+        assert_eq!(items[0].get("name"), Some(&Json::Str("iteration".into())));
+    }
+
+    ezp_proptest! {
+        // Prometheus and JSON exports both reconstruct arbitrary
+        // snapshots exactly (values include u64::MAX-scale extremes).
+        fn snapshot_exports_round_trip(seed in 0u64..u64::MAX) {
+            use ezp_core::json::FromJson;
+            use ezp_testkit::Rng;
+            let mut rng = Rng::seed(seed);
+            let workers = rng.gen_range(1usize..=4);
+            let n_counters = rng.gen_range(1usize..=4);
+            let mut set = CounterSet::new(workers);
+            for i in 0..n_counters {
+                let id = set.register(&format!("c{i}"));
+                for w in 0..workers {
+                    // bias toward edge values: 0, tiny, huge
+                    let v = match rng.gen_range(0u8..4) {
+                        0 => 0,
+                        1 => rng.gen_range(0u64..100),
+                        2 => u64::MAX - rng.gen_range(0u64..3),
+                        _ => rng.next_u64(),
+                    };
+                    set.add(id, w, v);
+                }
+            }
+            let snap = set.snapshot();
+            let prom = from_prometheus(&to_prometheus(&snap)).unwrap();
+            assert_eq!(prom, snap, "prometheus round-trip");
+            let json =
+                CounterSnapshot::from_json(&Json::parse(&snap.to_json().dump()).unwrap())
+                    .unwrap();
+            assert_eq!(json, snap, "json round-trip");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! [`PerfProbe`] — the [`Probe`] implementation that turns scheduler
+//! activity into counters and spans.
+//!
+//! The scheduling layer already reports to a [`Probe`] (tile brackets
+//! for the monitor/tracer, [`RuntimeEvent`]s for whoever listens).
+//! `PerfProbe` is the listener: every tile bracket counts as one task
+//! executed on that worker, every runtime event lands in the matching
+//! named counter, and iteration brackets become `"iteration"` spans.
+//! It is instance-based (not a process-global) so concurrent runs in
+//! one process — the CLI test suite does this — never share numbers.
+
+use crate::counters::{CounterId, CounterSet, CounterSnapshot};
+use crate::span::{SpanRecord, SpanSet, DEFAULT_CAPACITY};
+use ezp_core::kernel::{Probe, RuntimeEvent};
+use ezp_core::time::now_ns;
+use ezp_core::WorkerId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Canonical counter names, shared between the probe and everything
+/// that reads snapshots (exporters, `ci/verify.sh`, docs).
+pub mod names {
+    /// Tiles computed (every `start_tile`/`end_tile` bracket is a task).
+    pub const TASKS_EXECUTED: &str = "tasks_executed";
+    /// Chunks handed out by dispensers.
+    pub const CHUNKS_DISPENSED: &str = "chunks_dispensed";
+    /// Steal attempts on the `stealing` dispenser.
+    pub const STEALS_ATTEMPTED: &str = "steals_attempted";
+    /// Steal attempts that obtained work.
+    pub const STEALS_SUCCEEDED: &str = "steals_succeeded";
+    /// Nanoseconds spent waiting for work (dispenser + task-graph waits).
+    pub const IDLE_NS: &str = "idle_ns";
+    /// End-of-loop barrier entries.
+    pub const BARRIER_WAITS: &str = "barrier_waits";
+    /// Task-graph waits on an empty ready queue.
+    pub const TASK_WAITS: &str = "task_waits";
+}
+
+/// Probe that accumulates runtime counters and iteration spans.
+pub struct PerfProbe {
+    counters: CounterSet,
+    spans: SpanSet,
+    tasks: CounterId,
+    chunks: CounterId,
+    steals_att: CounterId,
+    steals_ok: CounterId,
+    idle: CounterId,
+    barriers: CounterId,
+    task_waits: CounterId,
+    /// Start timestamp of the iteration currently in flight.
+    iter_start: AtomicU64,
+}
+
+impl PerfProbe {
+    /// A probe for `workers` worker threads with the default span
+    /// ring capacity.
+    pub fn new(workers: usize) -> Self {
+        Self::with_span_capacity(workers, DEFAULT_CAPACITY)
+    }
+
+    /// A probe whose span rings hold `capacity` records per worker.
+    pub fn with_span_capacity(workers: usize, capacity: usize) -> Self {
+        let mut counters = CounterSet::new(workers);
+        let tasks = counters.register(names::TASKS_EXECUTED);
+        let chunks = counters.register(names::CHUNKS_DISPENSED);
+        let steals_att = counters.register(names::STEALS_ATTEMPTED);
+        let steals_ok = counters.register(names::STEALS_SUCCEEDED);
+        let idle = counters.register(names::IDLE_NS);
+        let barriers = counters.register(names::BARRIER_WAITS);
+        let task_waits = counters.register(names::TASK_WAITS);
+        PerfProbe {
+            counters,
+            spans: SpanSet::new(workers, capacity),
+            tasks,
+            chunks,
+            steals_att,
+            steals_ok,
+            idle,
+            barriers,
+            task_waits,
+            iter_start: AtomicU64::new(0),
+        }
+    }
+
+    /// The live counter set (for direct reads in tests).
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// The span rings.
+    pub fn spans(&self) -> &SpanSet {
+        &self.spans
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Retained spans, merged and sorted by start time.
+    pub fn span_snapshot(&self) -> Vec<SpanRecord> {
+        self.spans.snapshot()
+    }
+}
+
+impl Probe for PerfProbe {
+    fn iteration_start(&self, _iteration: u32) {
+        self.iter_start.store(now_ns(), Ordering::Relaxed);
+    }
+
+    fn iteration_end(&self, _iteration: u32) {
+        let start = self.iter_start.load(Ordering::Relaxed);
+        self.spans.record(0, "iteration", start, now_ns());
+    }
+
+    fn end_tile(&self, _x: usize, _y: usize, _w: usize, _h: usize, worker: WorkerId) {
+        self.counters.incr(self.tasks, worker);
+    }
+
+    fn runtime_event(&self, worker: WorkerId, event: RuntimeEvent) {
+        match event {
+            RuntimeEvent::ChunkDispensed { .. } => self.counters.incr(self.chunks, worker),
+            RuntimeEvent::Steals {
+                attempted,
+                succeeded,
+            } => {
+                self.counters.add(self.steals_att, worker, attempted);
+                self.counters.add(self.steals_ok, worker, succeeded);
+            }
+            RuntimeEvent::IdleNs(ns) => self.counters.add(self.idle, worker, ns),
+            RuntimeEvent::BarrierWait => self.counters.incr(self.barriers, worker),
+            RuntimeEvent::TaskWait => self.counters.incr(self.task_waits, worker),
+        }
+    }
+
+    fn wants_runtime_events(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_count_as_tasks_per_worker() {
+        let probe = PerfProbe::new(3);
+        probe.start_tile(1);
+        probe.end_tile(0, 0, 8, 8, 1);
+        probe.end_tile(8, 0, 8, 8, 2);
+        let snap = probe.snapshot();
+        assert_eq!(snap.total(names::TASKS_EXECUTED), 2);
+        assert_eq!(
+            snap.get(names::TASKS_EXECUTED).unwrap().per_worker,
+            vec![0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn runtime_events_land_in_named_counters() {
+        let probe = PerfProbe::new(2);
+        probe.runtime_event(0, RuntimeEvent::ChunkDispensed { len: 16 });
+        probe.runtime_event(0, RuntimeEvent::ChunkDispensed { len: 8 });
+        probe.runtime_event(
+            1,
+            RuntimeEvent::Steals {
+                attempted: 3,
+                succeeded: 1,
+            },
+        );
+        probe.runtime_event(1, RuntimeEvent::IdleNs(500));
+        probe.runtime_event(0, RuntimeEvent::BarrierWait);
+        probe.runtime_event(1, RuntimeEvent::TaskWait);
+        let snap = probe.snapshot();
+        assert_eq!(snap.total(names::CHUNKS_DISPENSED), 2);
+        assert_eq!(snap.total(names::STEALS_ATTEMPTED), 3);
+        assert_eq!(snap.total(names::STEALS_SUCCEEDED), 1);
+        assert_eq!(snap.total(names::IDLE_NS), 500);
+        assert_eq!(snap.total(names::BARRIER_WAITS), 1);
+        assert_eq!(snap.total(names::TASK_WAITS), 1);
+    }
+
+    #[test]
+    fn iterations_become_spans() {
+        let probe = PerfProbe::new(1);
+        probe.iteration_start(0);
+        probe.iteration_end(0);
+        probe.iteration_start(1);
+        probe.iteration_end(1);
+        let spans = probe.span_snapshot();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.name == "iteration"));
+        assert!(spans[0].start_ns <= spans[1].start_ns);
+    }
+
+    #[test]
+    fn probe_wants_runtime_events() {
+        let probe = PerfProbe::new(1);
+        assert!(probe.wants_runtime_events());
+    }
+}

@@ -1,0 +1,162 @@
+//! Chrome Trace Event Format emission.
+//!
+//! The [Trace Event Format] is the JSON schema consumed by
+//! `chrome://tracing` and [Perfetto]. We only need "complete" events
+//! (`ph: "X"`, a name + start + duration per slice) plus thread-name
+//! metadata, which is enough to render one lane per worker with the
+//! tiles/spans laid out on a common timeline.
+//!
+//! Timestamps in the format are **microseconds**; ours are nanoseconds,
+//! so conversion happens here and only here.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::span::SpanRecord;
+use ezp_core::json::{Json, ToJson};
+
+/// One slice in a Chrome trace (a "complete" event, `ph: "X"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Slice label shown in the viewer.
+    pub name: String,
+    /// Category string (comma-separated tags; filterable in the UI).
+    pub cat: String,
+    /// Start, ns since process origin.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Process lane (we use 0 for local runs, the rank for MPI).
+    pub pid: usize,
+    /// Thread lane — the worker id.
+    pub tid: usize,
+    /// Extra `args` fields displayed when the slice is selected.
+    pub args: Vec<(String, Json)>,
+}
+
+impl TraceEvent {
+    /// A complete event with no extra args.
+    pub fn complete(name: &str, cat: &str, start_ns: u64, dur_ns: u64, tid: usize) -> Self {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_ns,
+            dur_ns,
+            pid: 0,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an `args` entry (builder style).
+    pub fn arg(mut self, key: &str, value: Json) -> Self {
+        self.args.push((key.to_string(), value));
+        self
+    }
+}
+
+impl From<&SpanRecord> for TraceEvent {
+    fn from(s: &SpanRecord) -> Self {
+        TraceEvent::complete(s.name, "span", s.start_ns, s.duration_ns(), s.worker)
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        // The format wants µs; emit fractional µs so sub-microsecond
+        // tiles keep a non-zero width in the viewer.
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_json()),
+            ("cat".to_string(), self.cat.to_json()),
+            ("ph".to_string(), Json::Str("X".into())),
+            ("ts".to_string(), Json::Float(self.start_ns as f64 / 1000.0)),
+            ("dur".to_string(), Json::Float(self.dur_ns as f64 / 1000.0)),
+            ("pid".to_string(), self.pid.to_json()),
+            ("tid".to_string(), self.tid.to_json()),
+        ];
+        if !self.args.is_empty() {
+            fields.push((
+                "args".to_string(),
+                Json::Obj(self.args.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A `ph: "M"` metadata event naming thread `tid` in the viewer.
+pub fn thread_name(pid: usize, tid: usize, name: &str) -> Json {
+    Json::obj([
+        ("name", Json::Str("thread_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", pid.to_json()),
+        ("tid", tid.to_json()),
+        ("args", Json::obj([("name", name.to_json())])),
+    ])
+}
+
+/// Wraps events (and optional metadata) in the top-level trace object
+/// Chrome expects: `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+pub fn chrome_trace(events: &[TraceEvent], metadata: Vec<Json>) -> Json {
+    let mut items = metadata;
+    items.extend(events.iter().map(ToJson::to_json));
+    Json::obj([
+        ("traceEvents", Json::Arr(items)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_event_emits_tef_fields() {
+        let ev = TraceEvent::complete("tile", "compute", 2_500, 1_000, 3)
+            .arg("w", Json::UInt(16));
+        let j = ev.to_json();
+        assert_eq!(j.get("ph"), Some(&Json::Str("X".into())));
+        assert_eq!(j.get("ts"), Some(&Json::Float(2.5)), "ns -> µs");
+        assert_eq!(j.get("dur"), Some(&Json::Float(1.0)));
+        assert_eq!(j.get("tid"), Some(&Json::UInt(3)));
+        assert_eq!(j.get("args").unwrap().get("w"), Some(&Json::UInt(16)));
+    }
+
+    #[test]
+    fn args_omitted_when_empty() {
+        let j = TraceEvent::complete("t", "c", 0, 0, 0).to_json();
+        assert_eq!(j.get("args"), None);
+    }
+
+    #[test]
+    fn span_record_converts() {
+        let s = SpanRecord {
+            name: "iteration",
+            worker: 2,
+            start_ns: 10_000,
+            end_ns: 30_000,
+        };
+        let ev = TraceEvent::from(&s);
+        assert_eq!(ev.name, "iteration");
+        assert_eq!(ev.tid, 2);
+        assert_eq!(ev.dur_ns, 20_000);
+    }
+
+    #[test]
+    fn chrome_trace_wraps_and_round_trips() {
+        let events = vec![
+            TraceEvent::complete("a", "c", 0, 100, 0),
+            TraceEvent::complete("b", "c", 50, 100, 1),
+        ];
+        let doc = chrome_trace(&events, vec![thread_name(0, 0, "worker 0")]);
+        let text = doc.dump();
+        let back = Json::parse(&text).unwrap();
+        let items = back.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), 3, "1 metadata + 2 events");
+        assert_eq!(items[0].get("ph"), Some(&Json::Str("M".into())));
+        assert_eq!(
+            back.get("displayTimeUnit"),
+            Some(&Json::Str("ms".into()))
+        );
+    }
+}

@@ -18,8 +18,17 @@
 //! and use short per-rank mutex critical sections for stealing.
 
 use ezp_core::Schedule;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Work-stealing activity of one rank over a dispenser's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Times the rank entered the steal path (its own range was empty).
+    pub attempted: u64,
+    /// Attempts that obtained work from a victim.
+    pub succeeded: u64,
+}
 
 /// A concurrent source of chunks over `0..n`.
 ///
@@ -37,6 +46,13 @@ pub trait Dispenser: Sync + Send {
     /// True when the iteration space is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-rank steal counters, for dispensers that steal. `None` for
+    /// policies without stealing, so the scheduling layer emits steal
+    /// events only where they mean something.
+    fn steal_stats(&self) -> Option<Vec<StealStats>> {
+        None
     }
 }
 
@@ -235,6 +251,18 @@ pub struct StealingDispenser {
     n: usize,
     k: usize,
     ranges: Vec<Mutex<(usize, usize)>>,
+    /// Per-rank steal counters, padded like the ranges are disjoint:
+    /// each rank only writes its own slot.
+    stats: Vec<StealSlot>,
+}
+
+/// Padded per-rank steal counters (owner-writes-only, like the monitor's
+/// worker slots).
+#[repr(align(128))]
+#[derive(Default)]
+struct StealSlot {
+    attempted: AtomicU64,
+    succeeded: AtomicU64,
 }
 
 impl StealingDispenser {
@@ -250,6 +278,7 @@ impl StealingDispenser {
             n,
             k: k.max(1),
             ranges,
+            stats: (0..threads).map(|_| StealSlot::default()).collect(),
         }
     }
 
@@ -270,6 +299,7 @@ impl StealingDispenser {
     /// Steals half of the largest victim's remaining range into `rank`'s
     /// own range, then serves from it.
     fn steal(&self, rank: usize) -> Option<(usize, usize)> {
+        self.stats[rank].attempted.fetch_add(1, Ordering::Relaxed);
         loop {
             // pick the victim with the most remaining work
             let victim = (0..self.ranges.len())
@@ -300,6 +330,7 @@ impl StealingDispenser {
             debug_assert!(own.0 >= own.1, "stealing with local work left");
             *own = stolen;
             drop(own);
+            self.stats[rank].succeeded.fetch_add(1, Ordering::Relaxed);
             return self.take_local(rank);
         }
     }
@@ -325,6 +356,18 @@ impl Dispenser for StealingDispenser {
 
     fn len(&self) -> usize {
         self.n
+    }
+
+    fn steal_stats(&self) -> Option<Vec<StealStats>> {
+        Some(
+            self.stats
+                .iter()
+                .map(|s| StealStats {
+                    attempted: s.attempted.load(Ordering::Relaxed),
+                    succeeded: s.succeeded.load(Ordering::Relaxed),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -439,6 +482,33 @@ mod tests {
         assert_eq!(d.next(0), Some((1, 1)));
         assert_eq!(d.next(0), None);
         assert_eq!(d.next(1), None);
+    }
+
+    #[test]
+    fn steal_counters_track_the_static_then_steal_scenario() {
+        // same interleaving as `stealing_starts_static_then_steals`,
+        // checking the counters it should leave behind
+        let d = StealingDispenser::new(8, 2, 1);
+        for _ in 0..4 {
+            d.next(1).unwrap(); // rank 1 drains its own half
+        }
+        assert_eq!(d.next(1), Some((2, 1))); // attempt #1: succeeds
+        assert_eq!(d.next(1), Some((3, 1))); // local, no steal
+        assert_eq!(d.next(0), Some((0, 1)));
+        assert_eq!(d.next(0), Some((1, 1)));
+        assert_eq!(d.next(0), None); // rank 0 attempt: nothing left
+        assert_eq!(d.next(1), None); // rank 1 attempt #2: nothing left
+        let stats = d.steal_stats().unwrap();
+        assert_eq!(stats[1], StealStats { attempted: 2, succeeded: 1 });
+        assert_eq!(stats[0], StealStats { attempted: 1, succeeded: 0 });
+    }
+
+    #[test]
+    fn only_the_stealing_policy_reports_steal_stats() {
+        assert!(StaticBlock::new(8, 2).steal_stats().is_none());
+        assert!(StaticCyclic::new(8, 2, 1).steal_stats().is_none());
+        assert!(DynamicChunks::new(8, 1).steal_stats().is_none());
+        assert!(GuidedChunks::new(8, 2, 1).steal_stats().is_none());
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub mod parallel;
 pub mod pool;
 pub mod taskgraph;
 
-pub use dispenser::{dispenser_for, Dispenser};
+pub use dispenser::{dispenser_for, Dispenser, StealStats};
 pub use img_cell::{ImgCell, TileWriter};
-pub use parallel::{parallel_for_range, parallel_for_tiles, parallel_for_tiles_img};
+pub use parallel::{
+    parallel_for_range, parallel_for_range_probed, parallel_for_tiles, parallel_for_tiles_img,
+};
 pub use pool::WorkerPool;
 pub use taskgraph::TaskGraph;

@@ -14,10 +14,11 @@
 //! brackets every tile with the probe's `start_tile`/`end_tile` — the
 //! instrumentation EASYPAP asks students to insert by hand.
 
-use crate::dispenser::dispenser_for;
+use crate::dispenser::{dispenser_for, Dispenser};
 use crate::img_cell::{ImgCell, TileWriter};
 use crate::pool::WorkerPool;
-use ezp_core::kernel::Probe;
+use ezp_core::kernel::{NullProbe, Probe, RuntimeEvent};
+use ezp_core::time::now_ns;
 use ezp_core::{Img2D, Schedule, Tile, TileGrid, WorkerId};
 
 /// Runs `f(i, rank)` for every `i in 0..n`, scheduled by `schedule`
@@ -28,19 +29,48 @@ pub fn parallel_for_range(
     schedule: Schedule,
     f: impl Fn(usize, WorkerId) + Sync,
 ) {
+    parallel_for_range_probed(pool, n, schedule, &NullProbe, f);
+}
+
+/// [`parallel_for_range`] with a probe receiving the scheduler's
+/// [`RuntimeEvent`]s (chunks dispensed, idle time, steals). The clock
+/// reads feeding `IdleNs` only happen when the probe asks for events,
+/// so passing [`NullProbe`] costs one branch per chunk.
+pub fn parallel_for_range_probed(
+    pool: &mut WorkerPool,
+    n: usize,
+    schedule: Schedule,
+    probe: &dyn Probe,
+    f: impl Fn(usize, WorkerId) + Sync,
+) {
     let threads = pool.threads();
     let disp = dispenser_for(schedule, n, threads);
+    let timed = probe.wants_runtime_events();
     pool.run(|rank| {
-        while let Some((start, len)) = disp.next(rank) {
+        loop {
+            let t0 = if timed { now_ns() } else { 0 };
+            let Some((start, len)) = disp.next(rank) else {
+                if timed {
+                    report_loop_end(probe, rank, t0);
+                }
+                break;
+            };
+            if timed {
+                report_chunk(probe, rank, t0, len);
+            }
             for i in start..start + len {
                 f(i, rank);
             }
         }
     });
+    if timed {
+        report_steals(probe, &*disp);
+    }
 }
 
 /// Runs `f(tile, rank)` for every tile of `grid` (`collapse(2)` order),
-/// scheduled by `schedule`, with monitoring brackets around each tile.
+/// scheduled by `schedule`, with monitoring brackets around each tile
+/// and [`RuntimeEvent`]s for probes that want them.
 pub fn parallel_for_tiles(
     pool: &mut WorkerPool,
     grid: &TileGrid,
@@ -50,8 +80,19 @@ pub fn parallel_for_tiles(
 ) {
     let threads = pool.threads();
     let disp = dispenser_for(schedule, grid.len(), threads);
+    let timed = probe.wants_runtime_events();
     pool.run(|rank| {
-        while let Some((start, len)) = disp.next(rank) {
+        loop {
+            let t0 = if timed { now_ns() } else { 0 };
+            let Some((start, len)) = disp.next(rank) else {
+                if timed {
+                    report_loop_end(probe, rank, t0);
+                }
+                break;
+            };
+            if timed {
+                report_chunk(probe, rank, t0, len);
+            }
             for i in start..start + len {
                 let tile = grid.tile_at(i);
                 probe.start_tile(rank);
@@ -60,6 +101,36 @@ pub fn parallel_for_tiles(
             }
         }
     });
+    if timed {
+        report_steals(probe, &*disp);
+    }
+}
+
+/// The wait for the chunk ended in work: report it plus the dispense.
+fn report_chunk(probe: &dyn Probe, rank: WorkerId, t0: u64, len: usize) {
+    probe.runtime_event(rank, RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)));
+    probe.runtime_event(rank, RuntimeEvent::ChunkDispensed { len });
+}
+
+/// The wait ended in exhaustion: the rank hits the loop-end barrier.
+fn report_loop_end(probe: &dyn Probe, rank: WorkerId, t0: u64) {
+    probe.runtime_event(rank, RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)));
+    probe.runtime_event(rank, RuntimeEvent::BarrierWait);
+}
+
+/// After the loop: forward the dispenser's steal counters (if any).
+fn report_steals(probe: &dyn Probe, disp: &dyn Dispenser) {
+    if let Some(stats) = disp.steal_stats() {
+        for (rank, s) in stats.iter().enumerate() {
+            probe.runtime_event(
+                rank,
+                RuntimeEvent::Steals {
+                    attempted: s.attempted,
+                    succeeded: s.succeeded,
+                },
+            );
+        }
+    }
 }
 
 /// Tile-parallel write access to an image: `f` gets a bounds-checked

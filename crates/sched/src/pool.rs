@@ -99,6 +99,13 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Number of parallel regions this pool has executed — a cheap
+    /// sanity figure for the stats report (every `parallel for` and
+    /// task-graph run is one region).
+    pub fn regions_run(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Runs one parallel region: every worker executes `f(rank)` exactly
     /// once; returns when all are done.
     ///

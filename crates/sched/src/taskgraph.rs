@@ -9,6 +9,8 @@
 
 use crate::pool::WorkerPool;
 use ezp_core::error::{Error, Result};
+use ezp_core::kernel::{NullProbe, Probe, RuntimeEvent};
+use ezp_core::time::now_ns;
 use ezp_core::{TileGrid, WorkerId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -123,10 +125,24 @@ impl TaskGraph {
     /// `f(task, rank)`, and release dependents. Returns when all tasks
     /// completed, or with an error when the graph has a cycle.
     pub fn run(&self, pool: &mut WorkerPool, f: impl Fn(usize, WorkerId) + Sync) -> Result<()> {
+        self.run_probed(pool, &NullProbe, f)
+    }
+
+    /// [`TaskGraph::run`] with a probe receiving [`RuntimeEvent`]s:
+    /// one `ChunkDispensed` per task picked, and a `TaskWait` plus the
+    /// waited `IdleNs` each time a worker parks on an empty ready
+    /// queue. Timing only happens when the probe wants events.
+    pub fn run_probed(
+        &self,
+        pool: &mut WorkerPool,
+        probe: &dyn Probe,
+        f: impl Fn(usize, WorkerId) + Sync,
+    ) -> Result<()> {
         let n = self.len();
         if n == 0 {
             return Ok(());
         }
+        let timed = probe.wants_runtime_events();
         let indegree: Vec<AtomicUsize> =
             self.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
         struct Queue {
@@ -151,6 +167,9 @@ impl TaskGraph {
                 if let Some(task) = guard.ready.pop_front() {
                     guard.in_flight += 1;
                     drop(guard);
+                    if timed {
+                        probe.runtime_event(rank, RuntimeEvent::ChunkDispensed { len: 1 });
+                    }
                     f(task, rank);
                     let mut newly_ready = Vec::new();
                     for &d in &self.dependents[task] {
@@ -170,6 +189,14 @@ impl TaskGraph {
                     cycle.store(true, Ordering::Relaxed);
                     cv.notify_all();
                     return;
+                } else if timed {
+                    probe.runtime_event(rank, RuntimeEvent::TaskWait);
+                    let t0 = now_ns();
+                    guard = cv.wait(guard).unwrap();
+                    probe.runtime_event(
+                        rank,
+                        RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)),
+                    );
                 } else {
                     guard = cv.wait(guard).unwrap();
                 }

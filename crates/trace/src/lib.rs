@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod io;
 pub mod merge;
 pub mod model;
 pub mod varint;
 
+pub use chrome::to_chrome;
 pub use merge::merge_ranks;
 pub use model::{Trace, TraceMeta};

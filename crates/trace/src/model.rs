@@ -201,7 +201,7 @@ impl FromJson for Trace {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn sample_trace() -> Trace {

@@ -27,6 +27,7 @@ pub use ezp_gpu as gpu;
 pub use ezp_kernels as kernels;
 pub use ezp_monitor as monitor;
 pub use ezp_mpi as mpi;
+pub use ezp_perf as perf;
 pub use ezp_plot as plot;
 pub use ezp_render as render;
 pub use ezp_sched as sched;
@@ -40,7 +41,8 @@ pub mod prelude {
     pub use ezp_core::{
         Img2D, ImagePair, Kernel, KernelCtx, Registry, Rgba, RunConfig, Schedule, Tile, TileGrid,
     };
-    pub use ezp_monitor::{Monitor, MonitorReport};
+    pub use ezp_monitor::{Monitor, MonitorReport, UnifiedReport};
+    pub use ezp_perf::PerfProbe;
     pub use ezp_sched::{TaskGraph, WorkerPool};
     pub use ezp_simsched::{simulate, simulate_iterations, CostMap, SimConfig};
     pub use ezp_trace::{Trace, TraceMeta};
@@ -57,5 +59,7 @@ mod tests {
         assert_eq!(grid.len(), 16);
         let cfg = crate::core::params::Schedule::parse("dynamic,2").unwrap();
         assert_eq!(cfg.as_omp_str(), "dynamic,2");
+        let probe = crate::perf::PerfProbe::new(2);
+        assert_eq!(probe.snapshot().total(crate::perf::names::TASKS_EXECUTED), 0);
     }
 }
