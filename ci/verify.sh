@@ -23,6 +23,20 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo build --benches --offline
 
+# Tier 2: deterministic concurrency checking (see docs/testing.md).
+# The ezp-check feature compiles the virtual-scheduler executor and the
+# shadow-write race detector, and unlocks the full conformance matrix
+# (every kernel x variant x policy x {1,2,4,8} workers). Kept out of the
+# workspace-wide run above so tier-1 wall-clock stays flat; the feature
+# adds nothing to a default build.
+cargo test -q --offline -p ezp-sched -p ezp-core --features ezp-check
+cargo test -q --offline -p easypap --features ezp-check
+# Conformance smoke at 2 workers, named explicitly so a matrix-wide
+# regression is visible in this log even if someone trims the lanes
+# above.
+cargo test -q --offline -p easypap --features ezp-check \
+    --test conformance -- conformance_smoke_two_workers
+
 # Observability smoke test: a real run must emit a parseable JSON stats
 # report with a non-zero task count (the --stats pipeline end to end).
 stats_dir="$(mktemp -d)"

@@ -58,7 +58,7 @@ fn task_graph(set: &mut BenchSet) {
     });
     set.bench("taskgraph", "wavefront_seq_baseline", || {
         let g = TaskGraph::down_right_wavefront(&grid);
-        g.run_seq(|t| {
+        g.run_seq(|t, _| {
             std::hint::black_box(t);
         })
         .unwrap()

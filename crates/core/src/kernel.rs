@@ -16,6 +16,18 @@ use crate::params::RunConfig;
 use crate::WorkerId;
 use std::sync::Arc;
 
+/// The class of data race flagged by the `ezp-check` shadow-write
+/// detector (see `ezp_core::shadow`, feature `ezp-check`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two concurrently-runnable writers (chunks or tasks with no
+    /// dependency path between them) wrote the same pixel.
+    OverlappingWrite,
+    /// A reader observed a pixel whose last writer it is not ordered
+    /// after — a missing dependency edge, the lost-update pattern.
+    LostUpdate,
+}
+
 /// A scheduler/runtime event reported through [`Probe::runtime_event`].
 ///
 /// These are the counter-shaped observations the scheduling layer can
@@ -45,6 +57,23 @@ pub enum RuntimeEvent {
     BarrierWait,
     /// The worker waited for ready tasks in a task-graph run.
     TaskWait,
+    /// The `ezp-check` shadow-write detector flagged a data race at pixel
+    /// `(x, y)`: `writer` (a chunk or task id) conflicted with
+    /// `prev_writer`, which last touched the pixel in the same parallel
+    /// region. Emitted only by the feature-gated checking layer — normal
+    /// runs never produce it.
+    ShadowRace {
+        /// Pixel column of the conflicting access.
+        x: usize,
+        /// Pixel row of the conflicting access.
+        y: usize,
+        /// Chunk/task id that previously wrote the pixel.
+        prev_writer: usize,
+        /// Chunk/task id of the conflicting access.
+        writer: usize,
+        /// Overlapping write or lost update.
+        kind: RaceKind,
+    },
 }
 
 /// Instrumentation hooks — the Rust face of the paper's

@@ -28,6 +28,8 @@ pub mod log;
 pub mod params;
 pub mod perf;
 pub mod registry;
+#[cfg(feature = "ezp-check")]
+pub mod shadow;
 pub mod svg;
 pub mod time;
 

@@ -33,6 +33,9 @@ pub mod names {
     pub const BARRIER_WAITS: &str = "barrier_waits";
     /// Task-graph waits on an empty ready queue.
     pub const TASK_WAITS: &str = "task_waits";
+    /// Races flagged by the `ezp-check` shadow-write detector (always
+    /// zero outside checked runs).
+    pub const SHADOW_RACES: &str = "shadow_races";
 }
 
 /// Probe that accumulates runtime counters and iteration spans.
@@ -46,6 +49,7 @@ pub struct PerfProbe {
     idle: CounterId,
     barriers: CounterId,
     task_waits: CounterId,
+    shadow_races: CounterId,
     /// Start timestamp of the iteration currently in flight.
     iter_start: AtomicU64,
 }
@@ -67,6 +71,7 @@ impl PerfProbe {
         let idle = counters.register(names::IDLE_NS);
         let barriers = counters.register(names::BARRIER_WAITS);
         let task_waits = counters.register(names::TASK_WAITS);
+        let shadow_races = counters.register(names::SHADOW_RACES);
         PerfProbe {
             counters,
             spans: SpanSet::new(workers, capacity),
@@ -77,6 +82,7 @@ impl PerfProbe {
             idle,
             barriers,
             task_waits,
+            shadow_races,
             iter_start: AtomicU64::new(0),
         }
     }
@@ -129,6 +135,7 @@ impl Probe for PerfProbe {
             RuntimeEvent::IdleNs(ns) => self.counters.add(self.idle, worker, ns),
             RuntimeEvent::BarrierWait => self.counters.incr(self.barriers, worker),
             RuntimeEvent::TaskWait => self.counters.incr(self.task_waits, worker),
+            RuntimeEvent::ShadowRace { .. } => self.counters.incr(self.shadow_races, worker),
         }
     }
 

@@ -33,8 +33,19 @@ pub struct StealStats {
 /// A concurrent source of chunks over `0..n`.
 ///
 /// Implementations must collectively hand out every index exactly once,
-/// whatever the interleaving of `next` calls — the invariant the
-/// property tests in this module pin down.
+/// whatever the interleaving of `next` calls *across ranks* — the
+/// invariant the property tests in this module (and the adversarial
+/// `ezp-check` schedules in `vexec`) pin down.
+///
+/// **Calling protocol**: at most one thread serves a given rank at a
+/// time. [`WorkerPool`](crate::WorkerPool) guarantees this structurally
+/// (one thread per rank), and [`StealingDispenser`] relies on it: a
+/// rank's own range is only ever *written* by that rank (thieves shrink
+/// a victim's `hi` bound but never touch the victim's `lo` or replace
+/// the range wholesale), so two threads calling `next` with the *same*
+/// rank concurrently could each overwrite the rank's range with
+/// different stolen intervals and leak the loser's work. Calls with
+/// distinct ranks may race freely.
 pub trait Dispenser: Sync + Send {
     /// Next chunk for `rank`, as `(start, len)` with `len > 0`, or `None`
     /// when no work is left for this rank.
@@ -298,6 +309,16 @@ impl StealingDispenser {
 
     /// Steals half of the largest victim's remaining range into `rank`'s
     /// own range, then serves from it.
+    ///
+    /// Audited for double-grants under concurrent steal + local pop: the
+    /// stolen interval is detached from the victim under the victim's
+    /// lock (`r.1 = start` publishes the shrink before the lock drops),
+    /// so no other thief or the victim itself can see it again. The
+    /// `*own = stolen` overwrite cannot lose work because only `rank`
+    /// writes its own range (see the [`Dispenser`] calling protocol) and
+    /// it only steals after observing that range empty — the
+    /// `debug_assert!` below, plus the exact-cover tests here and the
+    /// adversarial virtual schedules in `vexec::tests`, pin exactly this.
     fn steal(&self, rank: usize) -> Option<(usize, usize)> {
         self.stats[rank].attempted.fetch_add(1, Ordering::Relaxed);
         loop {
@@ -561,6 +582,40 @@ mod tests {
                     h.load(Ordering::Relaxed),
                     1,
                     "{sched:?}: iteration {i} handed out a wrong number of times"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steal_contention_never_double_grants() {
+        // Regression pin for the steal + local-pop audit: tiny per-rank
+        // blocks and k=1 force nearly every `next` through the steal
+        // path, with all ranks racing to shrink each other's ranges.
+        // Every index must still come out exactly once.
+        for round in 0..20 {
+            let threads = 4;
+            let n = 4 * threads + round % 3; // a handful of indices per rank
+            let d = StealingDispenser::new(n, threads, 1);
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|s| {
+                for rank in 0..threads {
+                    let d = &d;
+                    let hits = &hits;
+                    s.spawn(move || {
+                        while let Some((start, len)) = d.next(rank) {
+                            for h in hits.iter().skip(start).take(len) {
+                                h.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "round {round}: index {i} granted a wrong number of times"
                 );
             }
         }

@@ -29,6 +29,8 @@ pub mod img_cell;
 pub mod parallel;
 pub mod pool;
 pub mod taskgraph;
+#[cfg(feature = "ezp-check")]
+pub mod vexec;
 
 pub use dispenser::{dispenser_for, Dispenser, StealStats};
 pub use img_cell::{ImgCell, TileWriter};
@@ -37,3 +39,7 @@ pub use parallel::{
 };
 pub use pool::WorkerPool;
 pub use taskgraph::TaskGraph;
+#[cfg(feature = "ezp-check")]
+pub use vexec::{
+    virtual_drain, virtual_for_range, virtual_for_tiles, virtual_taskgraph, Reachability, VStep,
+};

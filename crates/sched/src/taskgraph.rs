@@ -96,14 +96,29 @@ impl TaskGraph {
         g
     }
 
-    /// Executes every task sequentially in a valid topological order.
+    /// Executes every task sequentially on the calling thread, passing
+    /// rank 0 — the same `f(task, rank)` shape as [`TaskGraph::run`], so
+    /// one closure serves both the `seq` and `taskdep` variants of a
+    /// kernel.
+    ///
+    /// **Execution-order guarantee**: `run_seq` is fully deterministic —
+    /// a Kahn traversal whose ready queue is FIFO and is seeded with the
+    /// initially-ready tasks in ascending id order, so the same graph
+    /// always replays the same order. This is a *stronger* contract than
+    /// [`TaskGraph::run`], which only promises a valid topological order
+    /// (a task never starts before its predecessors complete) and
+    /// deliberately guarantees nothing else: which worker runs a task and
+    /// how concurrent ready tasks interleave is up to the OS scheduler.
+    /// Tests that need to explore those interleavings deterministically
+    /// should use `vexec::virtual_taskgraph` (feature `ezp-check`).
+    ///
     /// Returns [`Error::Config`] when the graph has a cycle.
-    pub fn run_seq(&self, mut f: impl FnMut(usize)) -> Result<()> {
+    pub fn run_seq(&self, mut f: impl FnMut(usize, WorkerId)) -> Result<()> {
         let mut indegree = self.indegree.clone();
         let mut ready: VecDeque<usize> = (0..self.len()).filter(|&t| indegree[t] == 0).collect();
         let mut done = 0;
         while let Some(t) = ready.pop_front() {
-            f(t);
+            f(t, 0);
             done += 1;
             for &d in &self.dependents[t] {
                 indegree[d] -= 1;
@@ -298,7 +313,7 @@ mod tests {
         g.add_dep(2, 0);
         let mut pool = WorkerPool::new(2);
         assert!(g.run(&mut pool, |_, _| {}).is_err());
-        assert!(g.run_seq(|_| {}).is_err());
+        assert!(g.run_seq(|_, _| {}).is_err());
         // pool survives a cycle error
         let done = AtomicUsize::new(0);
         TaskGraph::new(2)
@@ -332,7 +347,7 @@ mod tests {
         let g = TaskGraph::new(0);
         let mut pool = WorkerPool::new(2);
         assert!(g.run(&mut pool, |_, _| {}).is_ok());
-        assert!(g.run_seq(|_| {}).is_ok());
+        assert!(g.run_seq(|_, _| {}).is_ok());
     }
 
     #[test]
@@ -340,8 +355,28 @@ mod tests {
         let grid = TileGrid::square(50, 10).unwrap();
         let g = TaskGraph::down_right_wavefront(&grid);
         let mut seq_order = Vec::new();
-        g.run_seq(|t| seq_order.push(t)).unwrap();
+        g.run_seq(|t, rank| {
+            assert_eq!(rank, 0, "run_seq always reports rank 0");
+            seq_order.push(t);
+        })
+        .unwrap();
         assert_topological(&g, &seq_order);
+    }
+
+    #[test]
+    fn run_seq_order_is_deterministic_fifo_kahn() {
+        let grid = TileGrid::square(40, 10).unwrap();
+        let g = TaskGraph::down_right_wavefront(&grid);
+        let order = |g: &TaskGraph| {
+            let mut o = Vec::new();
+            g.run_seq(|t, _| o.push(t)).unwrap();
+            o
+        };
+        // the documented guarantee: same graph, same order, every time
+        assert_eq!(order(&g), order(&g));
+        // and independent tasks come out in ascending-id (FIFO) order
+        let free = TaskGraph::new(5);
+        assert_eq!(order(&free), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub fn simulate_taskgraph(graph: &TaskGraph, costs: &[u64], threads: usize) -> T
     // critical path by longest-path DP over a topological order
     let mut dist = vec![0u64; n];
     let mut order = Vec::with_capacity(n);
-    graph.run_seq(|t| order.push(t)).expect("acyclic");
+    graph.run_seq(|t, _| order.push(t)).expect("acyclic");
     let mut critical = 0u64;
     for &t in &order {
         dist[t] += costs[t];

@@ -12,6 +12,9 @@
 //! * [`bench`] — a wall-clock micro-benchmark runner (median-of-N with
 //!   warmup) whose CSV output is compatible with `ezp-core::csv`, replacing
 //!   `criterion`.
+//! * [`schedule`] — seed-driven interleaving strategies for the `ezp-check`
+//!   deterministic concurrency harness (round-robin, random-walk,
+//!   steal-heavy, starve-one), replayable from `(strategy, seed)`.
 //!
 //! Everything here is `std`-only and deterministic by construction: the
 //! default seed is a fixed constant, and the per-test stream is derived from
@@ -20,9 +23,11 @@
 pub mod bench;
 pub mod prop;
 pub mod rng;
+pub mod schedule;
 
 pub use bench::{Bench, BenchResult, BenchSet};
 pub use prop::{
     grid_dims, select, vec_of, Strategy, StrategyExt, DEFAULT_CASES, DEFAULT_SEED,
 };
 pub use rng::Rng;
+pub use schedule::{Interleave, RandomWalk, RoundRobin, StarveOne, StealHeavy, StrategyKind};
