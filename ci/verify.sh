@@ -37,6 +37,47 @@ cargo test -q --offline -p easypap --features ezp-check
 cargo test -q --offline -p easypap --features ezp-check \
     --test conformance -- conformance_smoke_two_workers
 
+# Scheduler-hot-path bench gate: run the sched bench in smoke mode,
+# emit BENCH_sched.json, and diff it against the committed baseline
+# (ci/BENCH_sched.json). What is compared is the lock-free/mutex
+# throughput *ratio* per metric per worker count — self-normalizing, so
+# a slow or noisy CI host does not fail the gate, but the lock-free
+# paths regressing >20% relative to the in-run mutex baselines does.
+bench_json="$(mktemp)"
+EZP_BENCH_SMOKE=1 EZP_BENCH_JSON="$bench_json" \
+    cargo bench -q --offline -p ezp-bench --bench sched >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$bench_json" ci/BENCH_sched.json <<'EOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = 0.8  # fail on >20% regression vs the committed baseline ratio
+failed = False
+for metric in ("regions_per_sec", "tasks_per_sec", "steal_ops_per_sec"):
+    for i, w in enumerate(base["workers"]):
+        cr = cur["lockfree"][metric][i] / cur["mutex_baseline"][metric][i]
+        br = base["lockfree"][metric][i] / base["mutex_baseline"][metric][i]
+        status = "ok"
+        if cr < tol * br:
+            status = "REGRESSION"
+            failed = True
+        print(f"verify: bench {metric} @{w}w lockfree/mutex "
+              f"{cr:.2f}x (baseline {br:.2f}x) {status}")
+if failed:
+    sys.exit("verify: sched bench regressed >20% vs ci/BENCH_sched.json")
+print("verify: sched bench within 20% of committed baseline ratios")
+EOF
+else
+    # Fallback: structural check that the bench emitted all three
+    # metrics for both variants.
+    for key in regions_per_sec tasks_per_sec steal_ops_per_sec \
+               lockfree mutex_baseline; do
+        grep -q "\"$key\"" "$bench_json"
+    done
+    echo "verify: sched bench JSON OK (grep fallback, no ratio diff)"
+fi
+rm -f "$bench_json"
+
 # Observability smoke test: a real run must emit a parseable JSON stats
 # report with a non-zero task count (the --stats pipeline end to end).
 stats_dir="$(mktemp -d)"

@@ -1,14 +1,32 @@
 //! Microbenches of the scheduling substrate: per-chunk dispensing cost
-//! of every policy, parallel-region launch latency, and task-graph
-//! throughput — the overheads the simulator's `dispatch_overhead_ns`
-//! parameter models.
+//! of every policy, parallel-region launch latency, task-graph
+//! throughput, and the lock-free hot paths against inline mutex
+//! baselines — the overheads the simulator's `dispatch_overhead_ns`
+//! parameter models, and the numbers behind `ci/BENCH_sched.json`.
 //!
-//! Run with `cargo bench -p ezp-bench --bench sched`. Set
-//! `EZP_BENCH_CSV=path` to append the results as CSV.
+//! Run with `cargo bench -p ezp-bench --bench sched`.
+//!
+//! * `EZP_BENCH_CSV=path` appends every result as CSV.
+//! * `EZP_BENCH_JSON=path` writes the hot-path summary (regions/sec,
+//!   tasks/sec, steal ops/sec at 1/2/4/8 workers, lock-free vs mutex)
+//!   as JSON — the file `ci/verify.sh` diffs against the committed
+//!   baseline.
+//! * `EZP_BENCH_SMOKE=1` shrinks iteration counts so the whole lane
+//!   finishes in seconds; throughput numbers stay comparable (they are
+//!   per-second rates), only noisier.
 
 use ezp_core::{Schedule, TileGrid};
-use ezp_sched::{dispenser_for, TaskGraph, WorkerPool};
+use ezp_sched::{dispenser_for, Steal, TaskDeque, TaskGraph, WorkerPool};
 use ezp_testkit::{Bench, BenchSet};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var("EZP_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
 
 fn dispensers(set: &mut BenchSet) {
     let n = 4096;
@@ -35,43 +53,315 @@ fn dispensers(set: &mut BenchSet) {
     }
 }
 
-fn parallel_region(set: &mut BenchSet) {
-    for threads in [1usize, 2, 4] {
-        let mut pool = WorkerPool::new(threads);
-        set.bench("pool_empty_region", &threads.to_string(), || {
-            pool.run(|rank| {
-                std::hint::black_box(rank);
-            })
+/// The mutex+condvar region protocol the pool used before the seqlock
+/// rewrite, replicated inline as the comparison baseline: publish under
+/// a lock, `notify_all`, workers wait on the condvar, last finisher
+/// signals done. Measures the same thing `WorkerPool::run` measures —
+/// one empty region end to end.
+struct MutexPool {
+    shared: std::sync::Arc<MutexShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+struct MutexShared {
+    state: Mutex<MutexState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct MutexState {
+    seq: u64,
+    done_seq: u64,
+    remaining: usize,
+    shutdown: bool,
+}
+
+impl MutexPool {
+    fn new(threads: usize) -> Self {
+        let shared = std::sync::Arc::new(MutexShared {
+            state: Mutex::new(MutexState {
+                seq: 0,
+                done_seq: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
         });
+        let handles = (0..threads)
+            .map(|_| {
+                let sh = shared.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let mut st = sh.state.lock().unwrap();
+                        while st.seq == last && !st.shutdown {
+                            st = sh.work_cv.wait(st).unwrap();
+                        }
+                        if st.shutdown {
+                            return;
+                        }
+                        last = st.seq;
+                        drop(st);
+                        std::hint::black_box(last); // the empty region body
+                        let mut st = sh.state.lock().unwrap();
+                        st.remaining -= 1;
+                        if st.remaining == 0 {
+                            st.done_seq = last;
+                            sh.done_cv.notify_one();
+                        }
+                    }
+                })
+            })
+            .collect();
+        MutexPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    fn run(&mut self) {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap();
+        st.remaining = self.threads;
+        st.seq += 1;
+        let seq = st.seq;
+        sh.work_cv.notify_all();
+        while st.done_seq != seq {
+            st = sh.done_cv.wait(st).unwrap();
+        }
     }
 }
 
-fn task_graph(set: &mut BenchSet) {
-    let grid = TileGrid::square(256, 16).unwrap(); // 16x16 = 256 tasks
-    let mut pool = WorkerPool::new(2);
-    set.bench("taskgraph", "wavefront_256_tasks", || {
-        let g = TaskGraph::down_right_wavefront(&grid);
-        g.run(&mut pool, |t, _| {
-            std::hint::black_box(t);
-        })
-        .unwrap()
+impl Drop for MutexPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The wavefront graph run through a shared `Mutex<VecDeque>` ready
+/// queue with condvar waits — a faithful replica of the executor the
+/// per-worker deques replaced. Same pool, same graph, same release
+/// logic; only the ready-queue structure differs.
+fn run_mutex_taskgraph(g: &TaskGraph, pool: &mut WorkerPool) {
+    struct QueueState {
+        ready: VecDeque<usize>,
+        pending: usize,
+    }
+    let n = g.len();
+    let indegree: Vec<AtomicUsize> = (0..n).map(|t| AtomicUsize::new(g.indegree(t))).collect();
+    let state = Mutex::new(QueueState {
+        ready: (0..n)
+            .filter(|&t| indegree[t].load(Ordering::Relaxed) == 0)
+            .collect(),
+        pending: n,
     });
-    set.bench("taskgraph", "wavefront_seq_baseline", || {
-        let g = TaskGraph::down_right_wavefront(&grid);
-        g.run_seq(|t, _| {
-            std::hint::black_box(t);
-        })
-        .unwrap()
+    let cv = Condvar::new();
+    pool.run(|_| loop {
+        let task = {
+            let mut st = state.lock().unwrap();
+            loop {
+                if st.pending == 0 {
+                    return;
+                }
+                if let Some(t) = st.ready.pop_front() {
+                    break t;
+                }
+                st = cv.wait(st).unwrap();
+            }
+        };
+        std::hint::black_box(task);
+        for &d in g.dependents(task) {
+            if indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                state.lock().unwrap().ready.push_back(d);
+                cv.notify_one();
+            }
+        }
+        let mut st = state.lock().unwrap();
+        st.pending -= 1;
+        if st.pending == 0 {
+            cv.notify_all();
+        }
     });
 }
 
+/// Steal-path drain: `workers` thieves concurrently empty a preloaded
+/// queue, each counting locally; the caller times the whole drain.
+/// `steal` abstracts over the lock-free deque and the mutex baseline so
+/// both sides pay identical harness costs: `Some(true)` = got one,
+/// `Some(false)` = lost a race (retry), `None` = empty (done — nobody
+/// pushes during the drain, so empty is final). Returns the total
+/// drained, which the caller asserts.
+fn thief_drain(workers: usize, steal: &(dyn Fn() -> Option<bool> + Sync)) -> usize {
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got = 0usize;
+                    loop {
+                        match steal() {
+                            Some(true) => got += 1,
+                            // Lost a CAS race: on an oversubscribed core
+                            // the winner needs the CPU, so yield rather
+                            // than spin out the timeslice.
+                            Some(false) => std::thread::yield_now(),
+                            None => break,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            total.fetch_add(h.join().unwrap(), Ordering::Relaxed);
+        }
+    });
+    total.load(Ordering::Relaxed)
+}
+
+struct HotPath {
+    regions: Vec<f64>,
+    mutex_regions: Vec<f64>,
+    tasks: Vec<f64>,
+    mutex_tasks: Vec<f64>,
+    steals: Vec<f64>,
+    mutex_steals: Vec<f64>,
+}
+
+fn hot_paths(set: &mut BenchSet) -> HotPath {
+    let regions_per_sample: u64 = if smoke() { 20 } else { 200 };
+    let graph_dim = 128; // 16x16 = 256 tasks in both modes
+    let steal_items: usize = if smoke() { 2_000 } else { 20_000 };
+
+    let mut out = HotPath {
+        regions: vec![],
+        mutex_regions: vec![],
+        tasks: vec![],
+        mutex_tasks: vec![],
+        steals: vec![],
+        mutex_steals: vec![],
+    };
+
+    let grid = TileGrid::square(graph_dim, 8).unwrap();
+    let g = TaskGraph::down_right_wavefront(&grid);
+    let n_tasks = g.len() as f64;
+
+    for &w in &WORKER_SWEEP {
+        // regions/sec: lock-free epoch protocol vs mutex+condvar.
+        let mut pool = WorkerPool::new(w);
+        let r = set.bench("regions_lockfree", &w.to_string(), || {
+            for _ in 0..regions_per_sample {
+                pool.run(|rank| {
+                    std::hint::black_box(rank);
+                });
+            }
+        });
+        out.regions
+            .push(regions_per_sample as f64 * 1e9 / r.min_ns.max(1) as f64);
+
+        let mut mpool = MutexPool::new(w);
+        let r = set.bench("regions_mutex", &w.to_string(), || {
+            for _ in 0..regions_per_sample {
+                mpool.run();
+            }
+        });
+        out.mutex_regions
+            .push(regions_per_sample as f64 * 1e9 / r.min_ns.max(1) as f64);
+        drop(mpool);
+
+        // tasks/sec: per-worker deques vs a shared locked queue.
+        let r = set.bench("taskgraph_deques", &w.to_string(), || {
+            g.run(&mut pool, |t, _| {
+                std::hint::black_box(t);
+            })
+            .unwrap()
+        });
+        out.tasks.push(n_tasks * 1e9 / r.min_ns.max(1) as f64);
+
+        let r = set.bench("taskgraph_mutex_queue", &w.to_string(), || {
+            run_mutex_taskgraph(&g, &mut pool);
+        });
+        out.mutex_tasks.push(n_tasks * 1e9 / r.min_ns.max(1) as f64);
+
+        // steal ops/sec: w thieves drain a preloaded queue, deque FIFO
+        // CAS vs Mutex<VecDeque> pop_front.
+        let deque = TaskDeque::with_capacity(steal_items);
+        let r = set.bench("steal_deque", &w.to_string(), || {
+            for i in 0..steal_items {
+                deque.push(i);
+            }
+            let got = thief_drain(w, &|| match deque.steal() {
+                Steal::Success(_) => Some(true),
+                Steal::Retry => Some(false),
+                Steal::Empty => None,
+            });
+            assert_eq!(got, steal_items);
+        });
+        out.steals
+            .push(steal_items as f64 * 1e9 / r.min_ns.max(1) as f64);
+
+        // Preload item by item on both sides: each sample measures one
+        // full push+steal cycle per item through the structure's own
+        // single-item operations.
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::with_capacity(steal_items));
+        let r = set.bench("steal_mutex_queue", &w.to_string(), || {
+            for i in 0..steal_items {
+                queue.lock().unwrap().push_back(i);
+            }
+            let got = thief_drain(w, &|| queue.lock().unwrap().pop_front().map(|_| true));
+            assert_eq!(got, steal_items);
+        });
+        out.mutex_steals
+            .push(steal_items as f64 * 1e9 / r.min_ns.max(1) as f64);
+    }
+    out
+}
+
+fn json_array(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn write_json(path: &str, mode: &str, hp: &HotPath) -> std::io::Result<()> {
+    let workers: Vec<String> = WORKER_SWEEP.iter().map(|w| w.to_string()).collect();
+    let body = format!(
+        "{{\n  \"bench\": \"sched\",\n  \"mode\": \"{mode}\",\n  \"workers\": [{}],\n  \
+         \"lockfree\": {{\n    \"regions_per_sec\": {},\n    \"tasks_per_sec\": {},\n    \
+         \"steal_ops_per_sec\": {}\n  }},\n  \"mutex_baseline\": {{\n    \
+         \"regions_per_sec\": {},\n    \"tasks_per_sec\": {},\n    \
+         \"steal_ops_per_sec\": {}\n  }}\n}}\n",
+        workers.join(", "),
+        json_array(&hp.regions),
+        json_array(&hp.tasks),
+        json_array(&hp.steals),
+        json_array(&hp.mutex_regions),
+        json_array(&hp.mutex_tasks),
+        json_array(&hp.mutex_steals),
+    );
+    std::fs::write(path, body)
+}
+
 fn main() {
-    let mut set = BenchSet::with_config(Bench::new().warmup(3).samples(20));
-    dispensers(&mut set);
-    parallel_region(&mut set);
-    task_graph(&mut set);
+    let (warmup, samples) = if smoke() { (1, 9) } else { (3, 20) };
+    let mut set = BenchSet::with_config(Bench::new().warmup(warmup).samples(samples));
+    if !smoke() {
+        dispensers(&mut set);
+    }
+    let hp = hot_paths(&mut set);
     print!("{}", set.table());
     if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
         set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+    if let Ok(path) = std::env::var("EZP_BENCH_JSON") {
+        let mode = if smoke() { "smoke" } else { "full" };
+        write_json(&path, mode, &hp).unwrap();
+        eprintln!("wrote {path}");
     }
 }

@@ -57,6 +57,20 @@ pub enum RuntimeEvent {
     BarrierWait,
     /// The worker waited for ready tasks in a task-graph run.
     TaskWait,
+    /// A successful steal from another worker's ready deque in a
+    /// task-graph run (the deque analogue of [`RuntimeEvent::Steals`],
+    /// which covers range dispensers).
+    DequeSteal,
+    /// Blocking-fallback activity of the worker pool's lock-free epoch
+    /// protocol over one parallel region: spin iterations burned and
+    /// condvar parks taken while waiting for a region to open or close.
+    /// Reported once per probed region, as a delta.
+    PoolSync {
+        /// Condvar parks (threads that genuinely blocked).
+        parks: u64,
+        /// Spin-phase iterations before the condition held.
+        spins: u64,
+    },
     /// The `ezp-check` shadow-write detector flagged a data race at pixel
     /// `(x, y)`: `writer` (a chunk or task id) conflicted with
     /// `prev_writer`, which last touched the pixel in the same parallel

@@ -33,6 +33,14 @@ pub mod names {
     pub const BARRIER_WAITS: &str = "barrier_waits";
     /// Task-graph waits on an empty ready queue.
     pub const TASK_WAITS: &str = "task_waits";
+    /// Successful steals from another worker's task-graph ready deque.
+    pub const DEQUE_STEALS: &str = "deque_steals";
+    /// Condvar parks taken by the pool's epoch protocol (region
+    /// launch/close blocking fallback).
+    pub const POOL_PARKS: &str = "pool_parks";
+    /// Spin iterations burned by the pool's epoch protocol before a
+    /// region opened or closed.
+    pub const POOL_SPINS: &str = "pool_spins";
     /// Races flagged by the `ezp-check` shadow-write detector (always
     /// zero outside checked runs).
     pub const SHADOW_RACES: &str = "shadow_races";
@@ -49,6 +57,9 @@ pub struct PerfProbe {
     idle: CounterId,
     barriers: CounterId,
     task_waits: CounterId,
+    deque_steals: CounterId,
+    pool_parks: CounterId,
+    pool_spins: CounterId,
     shadow_races: CounterId,
     /// Start timestamp of the iteration currently in flight.
     iter_start: AtomicU64,
@@ -71,6 +82,9 @@ impl PerfProbe {
         let idle = counters.register(names::IDLE_NS);
         let barriers = counters.register(names::BARRIER_WAITS);
         let task_waits = counters.register(names::TASK_WAITS);
+        let deque_steals = counters.register(names::DEQUE_STEALS);
+        let pool_parks = counters.register(names::POOL_PARKS);
+        let pool_spins = counters.register(names::POOL_SPINS);
         let shadow_races = counters.register(names::SHADOW_RACES);
         PerfProbe {
             counters,
@@ -82,6 +96,9 @@ impl PerfProbe {
             idle,
             barriers,
             task_waits,
+            deque_steals,
+            pool_parks,
+            pool_spins,
             shadow_races,
             iter_start: AtomicU64::new(0),
         }
@@ -135,6 +152,11 @@ impl Probe for PerfProbe {
             RuntimeEvent::IdleNs(ns) => self.counters.add(self.idle, worker, ns),
             RuntimeEvent::BarrierWait => self.counters.incr(self.barriers, worker),
             RuntimeEvent::TaskWait => self.counters.incr(self.task_waits, worker),
+            RuntimeEvent::DequeSteal => self.counters.incr(self.deque_steals, worker),
+            RuntimeEvent::PoolSync { parks, spins } => {
+                self.counters.add(self.pool_parks, worker, parks);
+                self.counters.add(self.pool_spins, worker, spins);
+            }
             RuntimeEvent::ShadowRace { .. } => self.counters.incr(self.shadow_races, worker),
         }
     }
@@ -177,6 +199,14 @@ mod tests {
         probe.runtime_event(1, RuntimeEvent::IdleNs(500));
         probe.runtime_event(0, RuntimeEvent::BarrierWait);
         probe.runtime_event(1, RuntimeEvent::TaskWait);
+        probe.runtime_event(0, RuntimeEvent::DequeSteal);
+        probe.runtime_event(
+            1,
+            RuntimeEvent::PoolSync {
+                parks: 2,
+                spins: 40,
+            },
+        );
         let snap = probe.snapshot();
         assert_eq!(snap.total(names::CHUNKS_DISPENSED), 2);
         assert_eq!(snap.total(names::STEALS_ATTEMPTED), 3);
@@ -184,6 +214,9 @@ mod tests {
         assert_eq!(snap.total(names::IDLE_NS), 500);
         assert_eq!(snap.total(names::BARRIER_WAITS), 1);
         assert_eq!(snap.total(names::TASK_WAITS), 1);
+        assert_eq!(snap.total(names::DEQUE_STEALS), 1);
+        assert_eq!(snap.total(names::POOL_PARKS), 2);
+        assert_eq!(snap.total(names::POOL_SPINS), 40);
     }
 
     #[test]

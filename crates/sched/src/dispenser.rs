@@ -14,12 +14,13 @@
 //!   first distributed in a static manner, but work-stealing is
 //!   eventually used to correct load imbalance" (§II-B).
 //!
-//! The dispensers are lock-free where the policy allows (atomic cursors)
-//! and use short per-rank mutex critical sections for stealing.
+//! All five dispensers are lock-free: atomic cursors where the policy
+//! is a single stream, and packed per-rank range words updated by CAS
+//! for the stealing policy (see [`StealingDispenser`] for the
+//! no-double-grant argument).
 
 use ezp_core::Schedule;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Work-stealing activity of one rank over a dispenser's lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,12 +41,11 @@ pub struct StealStats {
 /// **Calling protocol**: at most one thread serves a given rank at a
 /// time. [`WorkerPool`](crate::WorkerPool) guarantees this structurally
 /// (one thread per rank), and [`StealingDispenser`] relies on it: a
-/// rank's own range is only ever *written* by that rank (thieves shrink
-/// a victim's `hi` bound but never touch the victim's `lo` or replace
-/// the range wholesale), so two threads calling `next` with the *same*
-/// rank concurrently could each overwrite the rank's range with
-/// different stolen intervals and leak the loser's work. Calls with
-/// distinct ranks may race freely.
+/// rank's *private remainder* (the interval it last stole) is written
+/// only by that rank, so two threads calling `next` with the *same*
+/// rank concurrently could each overwrite the remainder with different
+/// stolen intervals and leak the loser's work. Calls with distinct
+/// ranks may race freely — the shared range words are CAS-protected.
 pub trait Dispenser: Sync + Send {
     /// Next chunk for `rank`, as `(start, len)` with `len > 0`, or `None`
     /// when no work is left for this rank.
@@ -214,11 +214,13 @@ pub struct GuidedChunks {
 }
 
 impl GuidedChunks {
-    /// Creates the dispenser; `k` is clamped to at least 1.
+    /// Creates the dispenser; `k` and `threads` are clamped to at least
+    /// 1 (a `threads == 0` caller would otherwise divide by zero in the
+    /// chunk-size formula).
     pub fn new(n: usize, threads: usize, k: usize) -> Self {
         GuidedChunks {
             n,
-            threads,
+            threads: threads.max(1),
             k: k.max(1),
             cursor: AtomicUsize::new(0),
         }
@@ -258,13 +260,66 @@ impl Dispenser for GuidedChunks {
 /// remaining range from the back (preserving the "static at first,
 /// stolen later" visual pattern and the locality the paper praises in
 /// §III-B).
+///
+/// ## Lock-free protocol and the no-double-grant argument
+///
+/// Each rank's *stealable* range lives in one padded `AtomicU64` packing
+/// `hi << 32 | lo`, so a single CAS moves either bound atomically with
+/// respect to the other:
+///
+/// * the **owner** advances `lo` by up to `k` (front of the range);
+/// * a **thief** retreats `hi` by half the remainder (back of the range).
+///
+/// Both are strictly monotone — `lo` only grows, `hi` only shrinks, and
+/// a stolen interval is *never* written back into any shared word — so
+/// no packed word can ever repeat a bit pattern. That rules out ABA by
+/// construction: a CAS succeeds only against the state it read, and
+/// every successful CAS detaches a half-open interval disjoint from
+/// everything detached before. (An earlier design reinstalled stolen
+/// ranges into the thief's shared slot; a CAS port of *that* has a real
+/// ABA double-grant when an interval travels through a steal chain back
+/// to identical bounds. The monotone design makes the hazard
+/// unrepresentable instead of merely unlikely.)
+///
+/// What a thief steals goes into its own **private remainder** — a
+/// padded `(lo, hi)` pair of plain atomics written only by that rank
+/// and invisible to other thieves. The [`Dispenser`] rank-serial
+/// calling protocol makes that single-writer discipline structural;
+/// because the slots are atomics (not `UnsafeCell`), violating the
+/// protocol would be a logic error, never memory unsafety.
 pub struct StealingDispenser {
     n: usize,
     k: usize,
-    ranges: Vec<Mutex<(usize, usize)>>,
-    /// Per-rank steal counters, padded like the ranges are disjoint:
-    /// each rank only writes its own slot.
+    /// Per-rank stealable ranges as packed `hi << 32 | lo` words.
+    ranges: Vec<RangeWord>,
+    /// Per-rank private remainders (stolen intervals being drained).
+    remainders: Vec<Remainder>,
+    /// Per-rank steal counters; each rank only writes its own slot.
     stats: Vec<StealSlot>,
+}
+
+/// A padded packed-range word (`hi << 32 | lo`).
+#[repr(align(128))]
+struct RangeWord(AtomicU64);
+
+impl RangeWord {
+    fn pack(lo: usize, hi: usize) -> u64 {
+        ((hi as u64) << 32) | lo as u64
+    }
+
+    fn unpack(w: u64) -> (usize, usize) {
+        ((w & 0xFFFF_FFFF) as usize, (w >> 32) as usize)
+    }
+}
+
+/// A rank-private stolen interval, drained front-first by its owner.
+/// Single-writer by the rank-serial protocol; atomics only so that a
+/// protocol violation stays a logic error.
+#[repr(align(128))]
+#[derive(Default)]
+struct Remainder {
+    lo: AtomicUsize,
+    hi: AtomicUsize,
 }
 
 /// Padded per-rank steal counters (owner-writes-only, like the monitor's
@@ -278,92 +333,125 @@ struct StealSlot {
 
 impl StealingDispenser {
     /// Creates the dispenser; `k` is clamped to at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` does not fit the 32-bit halves of the packed
+    /// range words (`n > u32::MAX`) — far beyond any real iteration
+    /// space a 2D image loop produces.
     pub fn new(n: usize, threads: usize, k: usize) -> Self {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "StealingDispenser supports at most u32::MAX iterations (got {n})"
+        );
         let ranges = (0..threads)
             .map(|r| {
                 let (start, len) = StaticBlock::block_of(n, threads, r);
-                Mutex::new((start, start + len))
+                RangeWord(AtomicU64::new(RangeWord::pack(start, start + len)))
             })
             .collect();
         StealingDispenser {
             n,
             k: k.max(1),
             ranges,
+            remainders: (0..threads).map(|_| Remainder::default()).collect(),
             stats: (0..threads).map(|_| StealSlot::default()).collect(),
         }
     }
 
-    /// Takes up to `k` iterations from the front of `rank`'s own range.
+    /// Takes up to `k` iterations from the front of `rank`'s stealable
+    /// range (CAS loop against thieves shrinking `hi`), falling back to
+    /// the rank's private remainder.
     fn take_local(&self, rank: usize) -> Option<(usize, usize)> {
-        // Nothing user-supplied runs under these locks, so they cannot be
-        // poisoned and unwrap is safe (same argument as in `pool`).
-        let mut r = self.ranges[rank].lock().unwrap();
-        if r.0 >= r.1 {
+        let word = &self.ranges[rank].0;
+        let mut w = word.load(Ordering::SeqCst);
+        loop {
+            let (lo, hi) = RangeWord::unpack(w);
+            if lo >= hi {
+                break;
+            }
+            let len = self.k.min(hi - lo);
+            match word.compare_exchange_weak(
+                w,
+                RangeWord::pack(lo + len, hi),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some((lo, len)),
+                Err(seen) => w = seen,
+            }
+        }
+        // Shared range drained; serve the private remainder (plain
+        // single-writer reads/writes — no CAS needed).
+        let lo = self.remainders[rank].lo.load(Ordering::Relaxed);
+        let hi = self.remainders[rank].hi.load(Ordering::Relaxed);
+        if lo >= hi {
             return None;
         }
-        let len = self.k.min(r.1 - r.0);
-        let start = r.0;
-        r.0 += len;
-        Some((start, len))
+        let len = self.k.min(hi - lo);
+        self.remainders[rank].lo.store(lo + len, Ordering::Relaxed);
+        Some((lo, len))
     }
 
-    /// Steals half of the largest victim's remaining range into `rank`'s
-    /// own range, then serves from it.
-    ///
-    /// Audited for double-grants under concurrent steal + local pop: the
-    /// stolen interval is detached from the victim under the victim's
-    /// lock (`r.1 = start` publishes the shrink before the lock drops),
-    /// so no other thief or the victim itself can see it again. The
-    /// `*own = stolen` overwrite cannot lose work because only `rank`
-    /// writes its own range (see the [`Dispenser`] calling protocol) and
-    /// it only steals after observing that range empty — the
-    /// `debug_assert!` below, plus the exact-cover tests here and the
-    /// adversarial virtual schedules in `vexec::tests`, pin exactly this.
+    /// Steals half of the largest victim's stealable remainder into
+    /// `rank`'s private remainder, then serves from it.
     fn steal(&self, rank: usize) -> Option<(usize, usize)> {
         self.stats[rank].attempted.fetch_add(1, Ordering::Relaxed);
         loop {
-            // pick the victim with the most remaining work
-            let victim = (0..self.ranges.len())
-                .filter(|&v| v != rank)
-                .max_by_key(|&v| {
-                    let r = self.ranges[v].lock().unwrap();
-                    r.1.saturating_sub(r.0)
-                })?;
-            let stolen = {
-                let mut r = self.ranges[victim].lock().unwrap();
-                let avail = r.1.saturating_sub(r.0);
-                if avail == 0 {
-                    // someone drained the victim between the scan and the
-                    // lock; if *everything* is empty we are done (drop the
-                    // victim lock first — total_remaining relocks it)
-                    drop(r);
-                    if self.total_remaining() == 0 {
-                        return None;
-                    }
-                    continue;
+            // Pick the victim with the most stealable work left.
+            let mut victim = None;
+            let mut best = 0;
+            for v in (0..self.ranges.len()).filter(|&v| v != rank) {
+                let (lo, hi) = RangeWord::unpack(self.ranges[v].0.load(Ordering::SeqCst));
+                let avail = hi.saturating_sub(lo);
+                if avail > best {
+                    best = avail;
+                    victim = Some(v);
                 }
-                let take = (avail / 2).max(1).min(avail);
-                let start = r.1 - take;
-                r.1 = start;
-                (start, start + take)
-            };
-            let mut own = self.ranges[rank].lock().unwrap();
-            debug_assert!(own.0 >= own.1, "stealing with local work left");
-            *own = stolen;
-            drop(own);
-            self.stats[rank].succeeded.fetch_add(1, Ordering::Relaxed);
+            }
+            // Nothing stealable anywhere: done. (Private remainders are
+            // not stealable — their owners will drain them.)
+            let victim = victim?;
+            let word = &self.ranges[victim].0;
+            let w = word.load(Ordering::SeqCst);
+            let (lo, hi) = RangeWord::unpack(w);
+            let avail = hi.saturating_sub(lo);
+            if avail == 0 {
+                // Drained between the scan and the re-read; rescan.
+                continue;
+            }
+            let take = (avail / 2).max(1);
+            let start = hi - take;
+            if word
+                .compare_exchange(
+                    w,
+                    RangeWord::pack(lo, start),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_err()
+            {
+                // Lost the race (owner advanced or another thief shrank);
+                // rescan — every CAS failure means someone else made
+                // progress, so this loop is lock-free.
+                continue;
+            }
+            // [start, hi) is now detached: no shared word contains it and
+            // it can never re-enter one. Park it in our private slot.
+            debug_assert!(
+                self.remainders[rank].lo.load(Ordering::Relaxed)
+                    >= self.remainders[rank].hi.load(Ordering::Relaxed),
+                "stealing with private work left"
+            );
+            self.remainders[rank].lo.store(start, Ordering::Relaxed);
+            self.remainders[rank].hi.store(hi, Ordering::Relaxed);
+            // Release-publish the success *after* the attempt increment
+            // (program order) so a concurrent stats reader that acquires
+            // this count also sees the matching attempt — the
+            // attempted >= succeeded report invariant.
+            self.stats[rank].succeeded.fetch_add(1, Ordering::Release);
             return self.take_local(rank);
         }
-    }
-
-    fn total_remaining(&self) -> usize {
-        self.ranges
-            .iter()
-            .map(|r| {
-                let r = r.lock().unwrap();
-                r.1.saturating_sub(r.0)
-            })
-            .sum()
     }
 }
 
@@ -383,9 +471,20 @@ impl Dispenser for StealingDispenser {
         Some(
             self.stats
                 .iter()
-                .map(|s| StealStats {
-                    attempted: s.attempted.load(Ordering::Relaxed),
-                    succeeded: s.succeeded.load(Ordering::Relaxed),
+                .map(|s| {
+                    // Coherent mid-flight snapshot: load `succeeded` first
+                    // (Acquire, pairing with the Release increment), then
+                    // `attempted`. Every success counted was preceded by
+                    // its attempt increment in its writer's program order,
+                    // and the acquire/release pair makes those attempts
+                    // visible here — so attempted >= succeeded holds in
+                    // every report, even one racing the steal path.
+                    let succeeded = s.succeeded.load(Ordering::Acquire);
+                    let attempted = s.attempted.load(Ordering::Relaxed);
+                    StealStats {
+                        attempted,
+                        succeeded,
+                    }
                 })
                 .collect(),
         )
@@ -522,6 +621,77 @@ mod tests {
         let stats = d.steal_stats().unwrap();
         assert_eq!(stats[1], StealStats { attempted: 2, succeeded: 1 });
         assert_eq!(stats[0], StealStats { attempted: 1, succeeded: 0 });
+    }
+
+    #[test]
+    fn guided_with_zero_threads_does_not_divide_by_zero() {
+        // direct construction with threads == 0 must clamp, not panic
+        let d = GuidedChunks::new(100, 0, 4);
+        let got = drain_interleaved(&d, 1);
+        assert_exact_cover(&got, 100);
+        // and the empty space stays empty
+        assert_eq!(GuidedChunks::new(0, 0, 1).next(0), None);
+    }
+
+    #[test]
+    fn steal_stats_never_report_more_successes_than_attempts() {
+        // S3 regression: sample the stats *while* ranks are draining
+        // through the steal path; every snapshot, per rank, must satisfy
+        // attempted >= succeeded (the release/acquire pairing on the
+        // succeeded counter).
+        for round in 0..10 {
+            let threads = 4;
+            let n = 64 + round;
+            let d = StealingDispenser::new(n, threads, 1);
+            let stop = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|rank| {
+                        let d = &d;
+                        s.spawn(move || while d.next(rank).is_some() {})
+                    })
+                    .collect();
+                let d = &d;
+                let stop = &stop;
+                s.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        for (rank, st) in d.steal_stats().unwrap().iter().enumerate() {
+                            assert!(
+                                st.attempted >= st.succeeded,
+                                "rank {rank}: mid-flight report shows {} successes \
+                                 but only {} attempts",
+                                st.succeeded,
+                                st.attempted
+                            );
+                        }
+                    }
+                });
+                // let the sampler race the drain; release it once the
+                // workers are done
+                for w in workers {
+                    w.join().unwrap();
+                }
+                stop.store(1, Ordering::Relaxed);
+            });
+            // final report still satisfies the invariant and counts
+            // at least one attempt somewhere (k=1 forces steal traffic
+            // unless the interleaving drained everything locally)
+            for st in d.steal_stats().unwrap() {
+                assert!(st.attempted >= st.succeeded);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_rejects_oversized_spaces() {
+        // the packed-word representation caps n at u32::MAX; make sure
+        // the constructor says so instead of silently corrupting ranges
+        if usize::BITS > 32 {
+            let res = std::panic::catch_unwind(|| {
+                StealingDispenser::new(u32::MAX as usize + 1, 2, 1)
+            });
+            assert!(res.is_err());
+        }
     }
 
     #[test]

@@ -24,20 +24,23 @@
 
 #![warn(missing_docs)]
 
+pub mod deque;
 pub mod dispenser;
 pub mod img_cell;
 pub mod parallel;
+pub(crate) mod park;
 pub mod pool;
 pub mod taskgraph;
 #[cfg(feature = "ezp-check")]
 pub mod vexec;
 
+pub use deque::{Steal, TaskDeque};
 pub use dispenser::{dispenser_for, Dispenser, StealStats};
 pub use img_cell::{ImgCell, TileWriter};
 pub use parallel::{
     parallel_for_range, parallel_for_range_probed, parallel_for_tiles, parallel_for_tiles_img,
 };
-pub use pool::WorkerPool;
+pub use pool::{PoolSyncStats, WorkerPool};
 pub use taskgraph::TaskGraph;
 #[cfg(feature = "ezp-check")]
 pub use vexec::{

@@ -43,10 +43,16 @@ pub fn parallel_for_range_probed(
     probe: &dyn Probe,
     f: impl Fn(usize, WorkerId) + Sync,
 ) {
+    if n == 0 {
+        // An empty range is a no-op: dispatching a region anyway would
+        // bump `regions_run` and emit per-worker barrier events for a
+        // loop that never existed.
+        return;
+    }
     let threads = pool.threads();
     let disp = dispenser_for(schedule, n, threads);
     let timed = probe.wants_runtime_events();
-    pool.run(|rank| {
+    run_region_probed(pool, probe, timed, |rank| {
         loop {
             let t0 = if timed { now_ns() } else { 0 };
             let Some((start, len)) = disp.next(rank) else {
@@ -78,10 +84,13 @@ pub fn parallel_for_tiles(
     probe: &dyn Probe,
     f: impl Fn(Tile, WorkerId) + Sync,
 ) {
+    if grid.len() == 0 {
+        return;
+    }
     let threads = pool.threads();
     let disp = dispenser_for(schedule, grid.len(), threads);
     let timed = probe.wants_runtime_events();
-    pool.run(|rank| {
+    run_region_probed(pool, probe, timed, |rank| {
         loop {
             let t0 = if timed { now_ns() } else { 0 };
             let Some((start, len)) = disp.next(rank) else {
@@ -103,6 +112,31 @@ pub fn parallel_for_tiles(
     });
     if timed {
         report_steals(probe, &*disp);
+    }
+}
+
+/// Runs one pool region and, when `timed`, reports the pool's
+/// epoch-protocol spin/park delta for it as a single
+/// [`RuntimeEvent::PoolSync`] (attributed to rank 0: the pool counters
+/// are global, not per-worker). Shared by the probed loop helpers and
+/// the task-graph executor.
+pub(crate) fn run_region_probed(
+    pool: &mut WorkerPool,
+    probe: &dyn Probe,
+    timed: bool,
+    f: impl Fn(WorkerId) + Sync,
+) {
+    let before = timed.then(|| pool.sync_stats());
+    pool.run(f);
+    if let Some(b) = before {
+        let a = pool.sync_stats();
+        probe.runtime_event(
+            0,
+            RuntimeEvent::PoolSync {
+                parks: a.parks.saturating_sub(b.parks),
+                spins: a.spins.saturating_sub(b.spins),
+            },
+        );
     }
 }
 
@@ -279,6 +313,32 @@ mod tests {
         sequential_for_tiles(&grid, &probe, |_| seen += 1);
         assert_eq!(seen, 16);
         assert_eq!(probe.0.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn empty_range_does_not_dispatch_a_region() {
+        // S2 regression: n == 0 must not run a region (polluting
+        // regions_run and per-worker barrier counters) under any policy
+        let mut pool = WorkerPool::new(2);
+        for sched in [
+            Schedule::Static,
+            Schedule::StaticChunk(2),
+            Schedule::Dynamic(1),
+            Schedule::Guided(2),
+            Schedule::NonmonotonicDynamic(1),
+        ] {
+            parallel_for_range(&mut pool, 0, sched, |_, _| {
+                panic!("no iteration may run for an empty range");
+            });
+        }
+        assert_eq!(pool.regions_run(), 0);
+        // pool unaffected: a real loop still works
+        let count = AtomicUsize::new(0);
+        parallel_for_range(&mut pool, 10, Schedule::Dynamic(2), |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        assert_eq!(pool.regions_run(), 1);
     }
 
     #[test]

@@ -6,25 +6,51 @@
 //! iteration of a kernel, like Fig. 2's `omp parallel` around the
 //! iteration loop) do not pay thread creation costs.
 //!
+//! ## Hot-path synchronization
+//!
+//! Launching and closing a region is lock-free: a seqlock-style epoch
+//! protocol replaces the mutex+condvar round trip an earlier version
+//! paid on both sides of every region. Mutexes survive only inside the
+//! [`ParkLot`] parking fallback, entered when a spin phase did not see
+//! progress — a genuinely idle thread blocks in the kernel instead of
+//! burning a core.
+//!
 //! ## Safety architecture
 //!
 //! The pool hands workers a borrowed closure without boxing per region.
 //! The closure reference is type- and lifetime-erased into a raw pointer
 //! while the region runs; soundness rests on a strict protocol:
 //!
-//! 1. `run` publishes the erased pointer under a mutex, then wakes workers;
-//! 2. workers copy the pointer and the region sequence number, run the
-//!    closure, then report completion;
-//! 3. `run` does not return (and therefore the closure cannot be dropped
-//!    or its borrows invalidated) until every worker has reported.
+//! 1. `run` resets `panics`/`remaining` and writes the erased pointer
+//!    into the job cell with a *plain* store. This is data-race-free
+//!    because the pool is quiescent: `run` previously observed
+//!    `done_seq == seq` (SeqCst), which happens-after the last worker's
+//!    `remaining` decrement, which happens-after every worker's read of
+//!    the cell (AcqRel chain through `remaining`). No worker touches the
+//!    cell again until the next epoch is published.
+//! 2. `run` publishes the region by storing the new sequence number to
+//!    `job_seq` (SeqCst) and notifying the idle [`ParkLot`]. Workers
+//!    spin-then-park on `job_seq`; observing the bump (SeqCst) makes the
+//!    cell write visible, so they copy the pointer and run the closure.
+//! 3. Each worker decrements `remaining` (AcqRel) when done; the last
+//!    one stores the sequence number to `done_seq` (SeqCst) and notifies
+//!    the done [`ParkLot`].
+//! 4. `run` does not return until it observes `done_seq == seq`, so the
+//!    closure cannot be dropped (nor its borrows invalidated) while any
+//!    worker can still dereference the pointer, and every write the
+//!    closure made is visible to the caller.
 //!
-//! Worker panics are caught, counted, and re-raised from `run` as a
-//! single panic naming the region, so a crashing tile function cannot
-//! deadlock the pool.
+//! Worker panics are caught, counted in `panics`, and re-raised from
+//! `run` as a single panic naming the region, so a crashing tile
+//! function cannot deadlock the pool. The counter is reset by `run`
+//! *before* publishing the next epoch and read *after* observing
+//! completion, both on the SeqCst spine above — a panic in region N is
+//! reported by region N and can never leak into region N+1.
 
+use crate::park::ParkLot;
+use std::cell::UnsafeCell;
 use std::panic::AssertUnwindSafe;
-use std::sync::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -39,21 +65,62 @@ struct ErasedJob {
 // closure alive (see protocol above), and the pointee is `Sync`.
 unsafe impl Send for ErasedJob {}
 
+/// The seqlock payload: the current region's erased closure. Written
+/// only by `run` while the pool is quiescent, read by workers only
+/// after they observe the matching `job_seq` bump.
+struct JobCell(UnsafeCell<Option<ErasedJob>>);
+
+// SAFETY: accesses are ordered by the epoch protocol documented in the
+// module header — the writer is quiescent-exclusive, readers are
+// epoch-gated — so the cell is never accessed concurrently.
+unsafe impl Sync for JobCell {}
+
+/// Cumulative blocking-fallback activity of a pool (all regions so
+/// far): how often threads had to spin or actually park instead of
+/// finding the epoch already advanced. Exposed so the observability
+/// layer can report the cost of region launch/close synchronization
+/// (see `pool_parks` / `pool_spins` in docs/observability.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolSyncStats {
+    /// Times a thread (worker or the caller of `run`) blocked on a
+    /// condvar waiting for an epoch to advance.
+    pub parks: u64,
+    /// Spin-phase iterations executed while waiting for an epoch.
+    pub spins: u64,
+}
+
 struct PoolState {
-    /// Current job and its sequence number (0 = no job yet).
-    job: Mutex<(u64, Option<ErasedJob>)>,
-    /// Signals workers that a new job (or shutdown) is available.
-    job_ready: Condvar,
+    /// Published region sequence number (0 = no region yet).
+    job_seq: AtomicU64,
+    /// The erased closure of the published region.
+    job: JobCell,
     /// Workers still running the current region.
     remaining: AtomicUsize,
-    /// Signals `run` that the region is complete.
-    region_done: Mutex<u64>,
-    done_cv: Condvar,
+    /// Last fully completed region sequence number.
+    done_seq: AtomicU64,
     /// Number of workers that panicked in the current region.
     panics: AtomicUsize,
-    /// Set when the pool is shutting down. Written under the `job` mutex
-    /// so that workers waiting on `job_ready` cannot miss the wakeup.
-    shutdown: std::sync::atomic::AtomicBool,
+    /// Set when the pool is shutting down (SeqCst, before `idle.notify`).
+    shutdown: AtomicBool,
+    /// Workers wait here for the next epoch (or shutdown).
+    idle: ParkLot,
+    /// `run` waits here for region completion.
+    done: ParkLot,
+    /// Cumulative parks across all threads and regions.
+    stat_parks: AtomicU64,
+    /// Cumulative spin iterations across all threads and regions.
+    stat_spins: AtomicU64,
+}
+
+impl PoolState {
+    fn record_wait(&self, stats: crate::park::WaitStats) {
+        if stats.spins > 0 {
+            self.stat_spins.fetch_add(stats.spins, Ordering::Relaxed);
+        }
+        if stats.parks > 0 {
+            self.stat_parks.fetch_add(stats.parks, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A fixed-size pool of persistent worker threads.
@@ -69,13 +136,16 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a pool needs at least one worker");
         let state = Arc::new(PoolState {
-            job: Mutex::new((0, None)),
-            job_ready: Condvar::new(),
+            job_seq: AtomicU64::new(0),
+            job: JobCell(UnsafeCell::new(None)),
             remaining: AtomicUsize::new(0),
-            region_done: Mutex::new(0),
-            done_cv: Condvar::new(),
+            done_seq: AtomicU64::new(0),
             panics: AtomicUsize::new(0),
-            shutdown: std::sync::atomic::AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            idle: ParkLot::new(),
+            done: ParkLot::new(),
+            stat_parks: AtomicU64::new(0),
+            stat_spins: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|rank| {
@@ -106,6 +176,16 @@ impl WorkerPool {
         self.next_seq
     }
 
+    /// Cumulative spin/park counts of the epoch protocol (all regions
+    /// so far). Deltas across a region quantify how much launching and
+    /// closing it had to block.
+    pub fn sync_stats(&self) -> PoolSyncStats {
+        PoolSyncStats {
+            parks: self.state.stat_parks.load(Ordering::Relaxed),
+            spins: self.state.stat_spins.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs one parallel region: every worker executes `f(rank)` exactly
     /// once; returns when all are done.
     ///
@@ -116,29 +196,29 @@ impl WorkerPool {
     pub fn run(&mut self, f: impl Fn(usize) + Sync) {
         self.next_seq += 1;
         let seq = self.next_seq;
-        self.state.panics.store(0, Ordering::Relaxed);
-        self.state.remaining.store(self.threads, Ordering::Release);
+        let state = &*self.state;
+        // Reset per-region accounting. Plain/relaxed stores suffice:
+        // the SeqCst `job_seq` publication below orders them before any
+        // worker activity of this region.
+        state.panics.store(0, Ordering::Relaxed);
+        state.remaining.store(self.threads, Ordering::Relaxed);
         // Erase the closure, including its lifetime: the pointee outlives
         // the region because this function owns `f` and blocks until every
         // worker reports done, so extending the pointer to `'static` is
         // sound under the protocol documented at the top of the module.
         let ptr: *const (dyn Fn(usize) + Sync) = &f;
         let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
-        let erased = ErasedJob { ptr };
-        {
-            let mut job = self.state.job.lock().unwrap();
-            *job = (seq, Some(erased));
-            self.state.job_ready.notify_all();
-        }
-        // Wait for completion. Workers never panic while holding a pool
-        // lock (the region closure runs under catch_unwind with no guard
-        // live), so lock poisoning cannot occur and unwrap is safe.
-        let mut done = self.state.region_done.lock().unwrap();
-        while *done < seq {
-            done = self.state.done_cv.wait(done).unwrap();
-        }
-        drop(done);
-        let panics = self.state.panics.load(Ordering::Acquire);
+        // SAFETY: the pool is quiescent (protocol step 1) — no worker
+        // reads the cell until the `job_seq` store below.
+        unsafe { *state.job.0.get() = Some(ErasedJob { ptr }) };
+        state.job_seq.store(seq, Ordering::SeqCst);
+        state.idle.notify();
+        // Wait for completion: spin, then park on the done lot.
+        let wait = state
+            .done
+            .wait_until(|| state.done_seq.load(Ordering::SeqCst) == seq);
+        state.record_wait(wait);
+        let panics = state.panics.load(Ordering::SeqCst);
         if panics > 0 {
             panic!("{panics} worker(s) panicked in parallel region {seq}");
         }
@@ -147,8 +227,14 @@ impl WorkerPool {
     /// Runs a region over exactly `n` conceptual workers even when the
     /// pool is larger or smaller: ranks `>= n` return immediately.
     /// Convenient for `--threads` smaller than the pool.
+    ///
+    /// `n == 0` is a no-op: no region is dispatched, so `regions_run`
+    /// and the per-region perf counters are untouched.
     pub fn run_limited(&mut self, n: usize, f: impl Fn(usize) + Sync) {
         let n = n.min(self.threads);
+        if n == 0 {
+            return;
+        }
         self.run(|rank| {
             if rank < n {
                 f(rank);
@@ -159,14 +245,11 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            // Hold the job mutex while flipping the flag: a worker is
-            // either inside `job_ready.wait` (and gets the notify) or has
-            // not re-checked the flag yet (and will see it set).
-            let _guard = self.state.job.lock().unwrap();
-            self.state.shutdown.store(true, Ordering::Release);
-            self.state.job_ready.notify_all();
-        }
+        // SeqCst store before notify: a worker is either spinning (sees
+        // the flag on its next check) or parked with `shutdown` in its
+        // wait condition (the ParkLot protocol guarantees the wakeup).
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.idle.notify();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -176,31 +259,29 @@ impl Drop for WorkerPool {
 fn worker_loop(rank: usize, state: Arc<PoolState>) {
     let mut last_seq = 0u64;
     loop {
-        // Wait for a job newer than the last one we ran, or shutdown.
-        let job = {
-            let mut guard = state.job.lock().unwrap();
-            loop {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                let (seq, job) = *guard;
-                if seq > last_seq {
-                    last_seq = seq;
-                    break job.expect("job published without closure");
-                }
-                guard = state.job_ready.wait(guard).unwrap();
-            }
-        };
-        // SAFETY: `run` keeps the closure alive until we report done.
+        // Wait for a region newer than the last one we ran, or shutdown.
+        let wait = state.idle.wait_until(|| {
+            state.shutdown.load(Ordering::SeqCst) || state.job_seq.load(Ordering::SeqCst) > last_seq
+        });
+        state.record_wait(wait);
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // `job_seq` can only have advanced by exactly one: the next
+        // region is not published until every worker (us included)
+        // completed the previous one.
+        last_seq = state.job_seq.load(Ordering::SeqCst);
+        // SAFETY: gated on the epoch bump (protocol step 2); `run`
+        // keeps the closure alive until we decrement `remaining`.
+        let job = unsafe { (*state.job.0.get()).expect("epoch published without a job") };
         let f = unsafe { &*job.ptr };
         if std::panic::catch_unwind(AssertUnwindSafe(|| f(rank))).is_err() {
-            state.panics.fetch_add(1, Ordering::AcqRel);
+            state.panics.fetch_add(1, Ordering::SeqCst);
         }
         if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last worker out closes the region.
-            let mut done = state.region_done.lock().unwrap();
-            *done = last_seq;
-            state.done_cv.notify_all();
+            state.done_seq.store(last_seq, Ordering::SeqCst);
+            state.done.notify();
         }
     }
 }
@@ -268,6 +349,23 @@ mod tests {
     }
 
     #[test]
+    fn run_limited_zero_is_a_no_op() {
+        let mut pool = WorkerPool::new(4);
+        let hits = AtomicU64::new(0);
+        pool.run_limited(0, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.regions_run(), 0, "no region may be dispatched for n == 0");
+        // and the pool still works afterwards
+        pool.run_limited(4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.regions_run(), 1);
+    }
+
+    #[test]
     fn worker_panic_is_propagated_and_pool_survives() {
         let mut pool = WorkerPool::new(2);
         let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -287,6 +385,46 @@ mod tests {
     }
 
     #[test]
+    fn panic_in_region_n_is_not_observed_by_region_n_plus_one() {
+        // Regression for the panic-accounting race: the reset and the
+        // read of `panics` ride the epoch protocol's SeqCst spine, so a
+        // panic in region N must be reported by region N exactly, and
+        // the immediately following region must come up clean — over
+        // many alternations, not just one.
+        let mut pool = WorkerPool::new(3);
+        for round in 0..25 {
+            let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(|rank| {
+                    if rank == round % 3 {
+                        panic!("round {round}");
+                    }
+                });
+            }));
+            assert!(res.is_err(), "round {round}: panic was lost");
+            // region N+1 must not observe region N's panic count
+            let count = AtomicU64::new(0);
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn multiple_panics_in_one_region_are_all_counted() {
+        let mut pool = WorkerPool::new(4);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|rank| {
+                if rank < 3 {
+                    panic!("boom {rank}");
+                }
+            });
+        }));
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.starts_with("3 worker(s) panicked"), "got: {msg}");
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_is_rejected() {
         let _ = WorkerPool::new(0);
@@ -296,5 +434,26 @@ mod tests {
     fn drop_joins_cleanly() {
         let pool = WorkerPool::new(3);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn drop_joins_cleanly_after_regions() {
+        // Shutdown must reach workers that are parked between regions.
+        let mut pool = WorkerPool::new(3);
+        pool.run(|_| {});
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn sync_stats_accumulate_monotonically() {
+        let mut pool = WorkerPool::new(2);
+        let before = pool.sync_stats();
+        for _ in 0..10 {
+            pool.run(|_| {});
+        }
+        let after = pool.sync_stats();
+        assert!(after.parks >= before.parks);
+        assert!(after.spins >= before.spins);
     }
 }

@@ -7,14 +7,15 @@
 //! ids executed by a [`WorkerPool`] such that a task never starts before
 //! all of its predecessors completed.
 
+use crate::deque::{Steal, TaskDeque};
+use crate::park::ParkLot;
 use crate::pool::WorkerPool;
 use ezp_core::error::{Error, Result};
 use ezp_core::kernel::{NullProbe, Probe, RuntimeEvent};
 use ezp_core::time::now_ns;
 use ezp_core::{TileGrid, WorkerId};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A directed acyclic graph of `n` tasks (ids `0..n`).
 #[derive(Clone, Debug, Default)]
@@ -144,9 +145,35 @@ impl TaskGraph {
     }
 
     /// [`TaskGraph::run`] with a probe receiving [`RuntimeEvent`]s:
-    /// one `ChunkDispensed` per task picked, and a `TaskWait` plus the
-    /// waited `IdleNs` each time a worker parks on an empty ready
-    /// queue. Timing only happens when the probe wants events.
+    /// one `ChunkDispensed` per task picked, a `DequeSteal` per task
+    /// obtained from another worker's deque, and a `TaskWait` plus the
+    /// waited `IdleNs` each time a worker parks with no ready task in
+    /// sight. Timing only happens when the probe wants events.
+    ///
+    /// ## Execution model (lock-free)
+    ///
+    /// Each worker owns a [`TaskDeque`] of ready task ids: it pushes
+    /// dependents it releases and pops them back LIFO; when its own
+    /// deque is dry it steals FIFO from the others. No mutex guards the
+    /// ready state — an earlier version serialized every pick on a
+    /// global `Mutex<VecDeque>`, which is exactly the contention a
+    /// task-per-tile wavefront (Fig. 11/12) exposes.
+    ///
+    /// Termination and cycle detection ride three SeqCst counters:
+    /// `pending` (tasks not yet completed), `active` (workers inside a
+    /// busy streak — raised before the first pick attempt, lowered only
+    /// after a pick found nothing anywhere) and `events` (completion
+    /// epochs). A worker that finds no task anywhere decrements
+    /// `active` and then checks, in order: `events` snapshot → all
+    /// deques empty → `active == 0` → `events` unchanged → `pending >
+    /// 0`. In the SeqCst total order any in-flight completion either
+    /// bumps `events` inside the window (check fails, retry), leaves a
+    /// pushed dependent visible to the scan, or leaves its claimant
+    /// visible in `active` — so a clean pass proves no task is running
+    /// or ready, and remaining `pending` tasks form a cycle. Workers
+    /// with nothing to do park on a [`ParkLot`] whose wake condition
+    /// (completion count moved, or a deque became non-empty) every
+    /// completer makes true before notifying.
     pub fn run_probed(
         &self,
         pool: &mut WorkerPool,
@@ -158,68 +185,126 @@ impl TaskGraph {
             return Ok(());
         }
         let timed = probe.wants_runtime_events();
+        let threads = pool.threads();
         let indegree: Vec<AtomicUsize> =
             self.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
-        struct Queue {
-            ready: VecDeque<usize>,
-            completed: usize,
-            in_flight: usize,
+        // One deque per worker, each sized for the whole graph: a worker
+        // can release at most n-1 dependents into its own deque.
+        let deques: Vec<TaskDeque> = (0..threads).map(|_| TaskDeque::with_capacity(n)).collect();
+        // Seed initially-ready tasks round-robin so every worker starts
+        // with local work when the frontier is wide.
+        {
+            let mut next = 0;
+            for t in (0..n).filter(|&t| self.indegree[t] == 0) {
+                deques[next % threads].push(t);
+                next += 1;
+            }
         }
-        let queue = Mutex::new(Queue {
-            ready: (0..n).filter(|&t| self.indegree[t] == 0).collect(),
-            completed: 0,
-            in_flight: 0,
-        });
-        let cv = Condvar::new();
+        let pending = AtomicUsize::new(n);
+        let active = AtomicUsize::new(0);
+        let events = AtomicU64::new(0);
         let cycle = AtomicBool::new(false);
+        let idle = ParkLot::new();
 
-        pool.run(|rank| {
-            let mut guard = queue.lock().unwrap();
+        crate::parallel::run_region_probed(pool, probe, timed, |rank| {
+            let my = &deques[rank];
             loop {
-                if guard.completed == n || cycle.load(Ordering::Relaxed) {
+                if pending.load(Ordering::SeqCst) == 0 || cycle.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(task) = guard.ready.pop_front() {
-                    guard.in_flight += 1;
-                    drop(guard);
+                // Claim before looking: `active` makes this worker's
+                // pick attempts visible to concurrent cycle checks. It
+                // is raised once per busy *streak*, not per task, so
+                // consecutive local pops pay no extra RMW traffic.
+                active.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    let mut task = my.pop();
+                    if task.is_none() {
+                        'victims: for i in 1..threads {
+                            let victim = &deques[(rank + i) % threads];
+                            loop {
+                                match victim.steal() {
+                                    Steal::Success(t) => {
+                                        if timed {
+                                            probe.runtime_event(rank, RuntimeEvent::DequeSteal);
+                                        }
+                                        task = Some(t);
+                                        break 'victims;
+                                    }
+                                    // A failed CAS means another thief won;
+                                    // re-read rather than move on, the victim
+                                    // may hold more.
+                                    Steal::Retry => std::hint::spin_loop(),
+                                    Steal::Empty => continue 'victims,
+                                }
+                            }
+                        }
+                    }
+                    let Some(task) = task else { break };
                     if timed {
                         probe.runtime_event(rank, RuntimeEvent::ChunkDispensed { len: 1 });
                     }
                     f(task, rank);
-                    let mut newly_ready = Vec::new();
+                    let mut released = false;
                     for &d in &self.dependents[task] {
                         if indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            newly_ready.push(d);
+                            my.push(d);
+                            released = true;
                         }
                     }
-                    guard = queue.lock().unwrap();
-                    guard.in_flight -= 1;
-                    guard.completed += 1;
-                    guard.ready.extend(newly_ready);
-                    if guard.completed == n || !guard.ready.is_empty() {
-                        cv.notify_all();
+                    // Publish completion: the pushes above happen-before
+                    // the `events` bump, which happens-before the
+                    // `pending` decrement — the order the cycle check
+                    // relies on. Notify last, once the wake conditions
+                    // are true — and only when a sleeper could actually
+                    // have something to do: a dependent became ready, or
+                    // this was the final task. A completion that releases
+                    // nothing mid-graph leaves parked workers parked
+                    // instead of waking the whole lot per task.
+                    events.fetch_add(1, Ordering::SeqCst);
+                    let left = pending.fetch_sub(1, Ordering::SeqCst);
+                    if released || left == 1 {
+                        idle.notify();
                     }
-                } else if guard.in_flight == 0 {
-                    // nothing running, nothing ready, not all done: cycle
-                    cycle.store(true, Ordering::Relaxed);
-                    cv.notify_all();
-                    return;
-                } else if timed {
-                    probe.runtime_event(rank, RuntimeEvent::TaskWait);
-                    let t0 = now_ns();
-                    guard = cv.wait(guard).unwrap();
-                    probe.runtime_event(
-                        rank,
-                        RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)),
-                    );
-                } else {
-                    guard = cv.wait(guard).unwrap();
+                }
+                {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    // Termination / cycle check (see module comment).
+                    let e0 = events.load(Ordering::SeqCst);
+                    let all_empty = deques.iter().all(|d| d.len_hint() == 0);
+                    let quiet = active.load(Ordering::SeqCst) == 0;
+                    let stable = events.load(Ordering::SeqCst) == e0;
+                    if pending.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    if all_empty && quiet && stable {
+                        // No task running, none ready, some pending:
+                        // the remainder is cyclic.
+                        cycle.store(true, Ordering::SeqCst);
+                        idle.notify();
+                        return;
+                    }
+                    let t0 = if timed {
+                        probe.runtime_event(rank, RuntimeEvent::TaskWait);
+                        now_ns()
+                    } else {
+                        0
+                    };
+                    idle.wait_until(|| {
+                        pending.load(Ordering::SeqCst) == 0
+                            || cycle.load(Ordering::SeqCst)
+                            || events.load(Ordering::SeqCst) != e0
+                            || deques.iter().any(|d| d.len_hint() > 0)
+                    });
+                    if timed {
+                        probe.runtime_event(rank, RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)));
+                    }
                 }
             }
         });
 
-        if cycle.load(Ordering::Relaxed) {
-            let done = queue.lock().unwrap().completed;
+        if cycle.load(Ordering::SeqCst) {
+            let done = n - pending.load(Ordering::SeqCst);
             return Err(Error::Config(format!(
                 "task graph has a cycle: only {done}/{n} tasks runnable"
             )));
@@ -233,6 +318,7 @@ mod tests {
     use super::*;
     use ezp_testkit::ezp_proptest;
     use ezp_testkit::prop::vec_of;
+    use std::sync::Mutex;
 
     fn record_parallel(graph: &TaskGraph, threads: usize) -> Vec<usize> {
         let mut pool = WorkerPool::new(threads);

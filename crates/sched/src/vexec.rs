@@ -22,6 +22,7 @@
 //! Everything here is compiled only under the `ezp-check` feature and is
 //! never linked into production runs.
 
+use crate::deque::{Steal, TaskDeque};
 use crate::dispenser::{dispenser_for, Dispenser};
 use crate::taskgraph::TaskGraph;
 use ezp_core::error::{Error, Result};
@@ -143,6 +144,241 @@ pub fn virtual_taskgraph(
         )));
     }
     Ok(order)
+}
+
+/// The virtual twin of the *deque-based* task-graph executor
+/// ([`TaskGraph::run_probed`]): per-worker [`TaskDeque`]s with owner
+/// LIFO pops and thief FIFO steals, interleaved one scheduling action
+/// at a time by `strategy`.
+///
+/// Unlike [`virtual_taskgraph`] (which models an abstract ready set),
+/// this drives the *real* lock-free deque through every strategy-chosen
+/// owner/thief sequence: each step the strategy picks a worker, which
+/// pops its own deque or — when empty — steals from the victim the
+/// strategy picks among the non-empty deques. Released dependents go to
+/// the acting worker's deque, exactly as in the threaded executor.
+/// Returns the `(task, rank)` execution order plus how many grabs were
+/// steals, or [`Error::Config`] on a cycle.
+pub fn virtual_deque_taskgraph(
+    graph: &TaskGraph,
+    workers: usize,
+    strategy: &mut dyn Interleave,
+    mut f: impl FnMut(usize, WorkerId),
+) -> Result<(Vec<(usize, WorkerId)>, u64)> {
+    assert!(workers > 0, "virtual execution needs at least one worker");
+    let n = graph.len();
+    let mut indegree: Vec<usize> = (0..n).map(|t| graph.indegree(t)).collect();
+    let deques: Vec<TaskDeque> = (0..workers).map(|_| TaskDeque::with_capacity(n.max(1))).collect();
+    // Same round-robin seeding as the threaded executor.
+    for (i, t) in (0..n).filter(|&t| indegree[t] == 0).enumerate() {
+        deques[i % workers].push(t);
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut steals = 0u64;
+    let runnable = vec![true; workers];
+    loop {
+        if order.len() == n {
+            break;
+        }
+        // A cycle leaves every deque empty with tasks outstanding.
+        if deques.iter().all(|d| d.len_hint() == 0) {
+            return Err(Error::Config(format!(
+                "task graph has a cycle: only {}/{n} tasks runnable",
+                order.len()
+            )));
+        }
+        let rank = strategy
+            .next_worker(&runnable)
+            .expect("workers > 0 and all runnable");
+        let task = match deques[rank].pop() {
+            Some(t) => t,
+            None => {
+                // Steal from a strategy-chosen non-empty victim.
+                let victims: Vec<usize> = (0..workers)
+                    .filter(|&v| v != rank && deques[v].len_hint() > 0)
+                    .collect();
+                if victims.is_empty() {
+                    continue; // nothing to grab; another worker acts next
+                }
+                let victim = victims[strategy.pick(victims.len())];
+                match deques[victim].steal() {
+                    Steal::Success(t) => {
+                        steals += 1;
+                        t
+                    }
+                    // Serialized execution: a steal from a non-empty
+                    // deque cannot lose a race.
+                    Steal::Retry | Steal::Empty => unreachable!("uncontended steal failed"),
+                }
+            }
+        };
+        f(task, rank);
+        order.push((task, rank));
+        for &d in graph.dependents(task) {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                deques[rank].push(d);
+            }
+        }
+    }
+    Ok((order, steals))
+}
+
+/// What a worker model is doing inside [`virtual_region_protocol`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WPhase {
+    /// Waiting for `job_seq` to pass its last seen region (or shutdown).
+    Parked,
+    /// Saw the epoch bump and copied the job; about to run it.
+    Running,
+    /// Ran the body (and recorded a panic, if told to); about to
+    /// decrement `remaining`.
+    Finishing,
+}
+
+/// A step-level model of the pool's epoch protocol (`pool.rs`): one
+/// master and `workers` virtual workers interleaved by `strategy`, each
+/// protocol step (publish, observe-epoch, run, decrement, observe-done,
+/// read-panics, shutdown) a separate scheduling point.
+///
+/// `panic_plan(seq, rank)` says whether `rank`'s body panics in region
+/// `seq` (1-based). For every region the model asserts the invariants
+/// the threaded implementation's soundness comment claims:
+///
+/// * the master observes completion only after *every* worker ran that
+///   exact region and decremented `remaining` (no early unblock, no
+///   lost worker);
+/// * the panic count the master reads equals the plan's count for that
+///   region — never a leftover from region N-1 (the S1 regression);
+/// * after the final region the master's shutdown reaches all workers,
+///   including ones still parked (the shutdown-during-park schedule).
+///
+/// Returns the per-region panic counts the master observed.
+pub fn virtual_region_protocol(
+    regions: u64,
+    workers: usize,
+    panic_plan: impl Fn(u64, WorkerId) -> bool,
+    strategy: &mut dyn Interleave,
+) -> Vec<usize> {
+    assert!(workers > 0, "virtual execution needs at least one worker");
+    // Shared words of the protocol (plain vars: the model is serial).
+    let mut job_seq = 0u64;
+    let mut done_seq = 0u64;
+    let mut remaining = 0usize;
+    let mut panics = 0usize;
+    let mut shutdown = false;
+    // Per-worker state.
+    let mut phase = vec![WPhase::Parked; workers];
+    let mut last_seq = vec![0u64; workers];
+    let mut ran = vec![0u32; workers];
+    let mut alive = vec![true; workers];
+    // Master state.
+    let mut master_waiting = false; // between publish and observe-done
+    let mut observed = Vec::new();
+
+    // Slot `workers` is the master; workers are 0..workers. Parking is
+    // modeled as leaving the runnable set (a parked thread cannot be
+    // scheduled), and ParkLot notifies as re-entering it — so unfair
+    // strategies (steal-heavy, starve-one) cannot spin the model on an
+    // idle actor, and a lost wakeup would surface as non-termination
+    // with work outstanding.
+    let mut runnable = vec![true; workers + 1];
+    while let Some(actor) = strategy.next_worker(&runnable) {
+        if actor == workers {
+            // ---- master step ----
+            if master_waiting {
+                // observe-done + read-panics (protocol step 4)
+                if done_seq == job_seq {
+                    for (w, &r) in ran.iter().enumerate() {
+                        assert_eq!(
+                            r, 1,
+                            "master unblocked while worker {w} ran region {job_seq} {r} times"
+                        );
+                    }
+                    let expected = (0..workers).filter(|&w| panic_plan(job_seq, w)).count();
+                    assert_eq!(
+                        panics, expected,
+                        "region {job_seq}: master read a stale panic count"
+                    );
+                    observed.push(panics);
+                    master_waiting = false;
+                } else {
+                    // park on the done lot; the last finisher notifies
+                    runnable[workers] = false;
+                }
+            } else if job_seq < regions {
+                // publish (protocol steps 1-2): reset accounting, then
+                // bump the epoch and notify the idle lot — same order
+                // as WorkerPool::run
+                panics = 0;
+                remaining = workers;
+                ran = vec![0; workers];
+                job_seq += 1;
+                master_waiting = true;
+                for w in 0..workers {
+                    if alive[w] {
+                        runnable[w] = true;
+                    }
+                }
+            } else {
+                // all regions observed: set shutdown, notify the idle
+                // lot, exit (Drop joins, which the model's end-state
+                // assertions stand in for)
+                shutdown = true;
+                for w in 0..workers {
+                    if alive[w] {
+                        runnable[w] = true;
+                    }
+                }
+                runnable[workers] = false;
+            }
+        } else {
+            // ---- worker step ----
+            match phase[actor] {
+                WPhase::Parked => {
+                    if shutdown {
+                        // shutdown observed from the parked wait — the
+                        // shutdown-during-park path
+                        alive[actor] = false;
+                        runnable[actor] = false;
+                    } else if job_seq > last_seq[actor] {
+                        assert_eq!(
+                            job_seq,
+                            last_seq[actor] + 1,
+                            "worker {actor} skipped an epoch"
+                        );
+                        last_seq[actor] = job_seq;
+                        phase[actor] = WPhase::Running;
+                    } else {
+                        // nothing to do: park on the idle lot
+                        runnable[actor] = false;
+                    }
+                }
+                WPhase::Running => {
+                    ran[actor] += 1;
+                    if panic_plan(last_seq[actor], actor) {
+                        panics += 1;
+                    }
+                    phase[actor] = WPhase::Finishing;
+                }
+                WPhase::Finishing => {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        done_seq = last_seq[actor];
+                        // notify the done lot
+                        runnable[workers] = true;
+                    }
+                    phase[actor] = WPhase::Parked;
+                }
+            }
+        }
+    }
+    assert!(
+        alive.iter().all(|&a| !a),
+        "shutdown lost: a worker is still parked after master exit"
+    );
+    assert_eq!(observed.len() as u64, regions, "master lost a region");
+    observed
 }
 
 /// Transitive happens-before over a [`TaskGraph`], as per-task descendant
@@ -331,6 +567,89 @@ mod tests {
         g.add_dep(2, 0);
         let mut s = RoundRobin::new();
         assert!(virtual_taskgraph(&g, 2, &mut s, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn deque_taskgraph_is_topological_and_replayable() {
+        let grid = TileGrid::square(32, 8).unwrap();
+        let g = TaskGraph::down_right_wavefront(&grid);
+        let reach = Reachability::of(&g);
+        for seed in 0..8u64 {
+            let mut s = RandomWalk::seeded(seed);
+            let (order, _) = virtual_deque_taskgraph(&g, 4, &mut s, |_, _| {}).unwrap();
+            assert_eq!(order.len(), g.len());
+            let mut pos = vec![usize::MAX; g.len()];
+            for (i, &(t, _)) in order.iter().enumerate() {
+                pos[t] = i;
+            }
+            for a in 0..g.len() {
+                for b in 0..g.len() {
+                    if reach.precedes(a, b) {
+                        assert!(pos[a] < pos[b], "seed {seed}: {a} must precede {b}");
+                    }
+                }
+            }
+            // Replay contract: same seed, same trace.
+            let mut s2 = RandomWalk::seeded(seed);
+            let (order2, _) = virtual_deque_taskgraph(&g, 4, &mut s2, |_, _| {}).unwrap();
+            assert_eq!(order, order2, "seed {seed} did not replay");
+        }
+    }
+
+    #[test]
+    fn deque_taskgraph_steal_heavy_steals_without_losing_tasks() {
+        let grid = TileGrid::square(24, 4).unwrap();
+        let g = TaskGraph::down_right_wavefront(&grid);
+        let mut s = StealHeavy::new(1);
+        let mut hits = vec![0u32; g.len()];
+        let (order, steals) = virtual_deque_taskgraph(&g, 4, &mut s, |t, _| hits[t] += 1).unwrap();
+        assert_eq!(order.len(), g.len());
+        assert!(steals > 0, "steal-heavy schedule never exercised the steal path");
+        assert_exact_cover(&hits, "deque taskgraph under steal-heavy");
+    }
+
+    #[test]
+    fn deque_taskgraph_detects_cycles() {
+        let mut g = TaskGraph::new(3);
+        g.add_dep(0, 1);
+        g.add_dep(1, 2);
+        g.add_dep(2, 0);
+        let mut s = RoundRobin::new();
+        assert!(virtual_deque_taskgraph(&g, 2, &mut s, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn region_protocol_counts_panics_per_region_for_all_strategies() {
+        // Region 1 has two planned panics, region 2 none, region 3 one:
+        // a stale read (the S1 bug) shows up as region 2 observing 2.
+        let plan = |seq: u64, rank: WorkerId| match seq {
+            1 => rank == 0 || rank == 2,
+            3 => rank == 1,
+            _ => false,
+        };
+        for kind in StrategyKind::all() {
+            for seed in 0..8u64 {
+                // Model actors = workers + master, so build for workers+1.
+                let mut s = kind.build(seed, 4);
+                let observed = virtual_region_protocol(3, 3, plan, &mut *s);
+                assert_eq!(
+                    observed,
+                    vec![2, 0, 1],
+                    "{kind:?} seed {seed}: stale or lost panic count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_protocol_single_worker_and_no_regions() {
+        let mut s = RoundRobin::new();
+        assert_eq!(virtual_region_protocol(0, 1, |_, _| false, &mut s), vec![]);
+        let mut s = RoundRobin::new();
+        assert_eq!(
+            virtual_region_protocol(5, 1, |seq, _| seq % 2 == 1, &mut s),
+            vec![1, 0, 1, 0, 1]
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@
 use easypap::core::kernel::{NullProbe, RaceKind};
 use easypap::core::shadow::{ShadowGrid, ShadowSession};
 use easypap::prelude::*;
-use easypap::sched::vexec::{virtual_for_tiles, virtual_taskgraph, Reachability};
+use easypap::sched::vexec::{
+    virtual_deque_taskgraph, virtual_for_tiles, virtual_region_protocol, virtual_taskgraph,
+    Reachability,
+};
 use ezp_testkit::schedule::{RandomWalk, RoundRobin, StrategyKind};
 
 const DIM: usize = 64;
@@ -203,4 +206,111 @@ fn races_land_in_the_perf_probe_counter() {
             .per_worker,
         vec![0, 1]
     );
+}
+
+/// The deque steal path under every adversarial interleaving family:
+/// per-worker deques (owner LIFO, thief FIFO) must hand out every task
+/// exactly once and in dependency order, no matter how the strategy
+/// interleaves owner pops and thief steals — and each trace must replay
+/// byte-for-byte from its seed (per docs/testing.md).
+#[test]
+fn deque_steal_path_conforms_under_every_strategy() {
+    let grid = TileGrid::square(32, 8).unwrap(); // 4x4 wavefront
+    let g = TaskGraph::down_right_wavefront(&grid);
+    let reach = Reachability::of(&g);
+    for kind in StrategyKind::all() {
+        for seed in 0..8u64 {
+            for workers in [1usize, 2, 4] {
+                let mut strategy = kind.build(seed, workers);
+                let mut hits = vec![0u32; g.len()];
+                let (order, _steals) =
+                    virtual_deque_taskgraph(&g, workers, &mut *strategy, |t, _| hits[t] += 1)
+                        .unwrap();
+                for (t, &h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h, 1,
+                        "{kind:?} seed {seed} workers {workers}: task {t} ran {h} times"
+                    );
+                }
+                let mut pos = vec![usize::MAX; g.len()];
+                for (i, &(t, _)) in order.iter().enumerate() {
+                    pos[t] = i;
+                }
+                for a in 0..g.len() {
+                    for b in 0..g.len() {
+                        if reach.precedes(a, b) {
+                            assert!(
+                                pos[a] < pos[b],
+                                "{kind:?} seed {seed} workers {workers}: {a} must precede {b}"
+                            );
+                        }
+                    }
+                }
+                // Replay contract: the same seed reproduces the trace.
+                let mut replay = kind.build(seed, workers);
+                let (order2, _) =
+                    virtual_deque_taskgraph(&g, workers, &mut *replay, |_, _| {}).unwrap();
+                assert_eq!(
+                    order, order2,
+                    "{kind:?} seed {seed} workers {workers}: trace did not replay"
+                );
+            }
+        }
+    }
+}
+
+/// The pool's atomic region protocol under every interleaving family:
+/// the model in `virtual_region_protocol` asserts no early unblock,
+/// exact per-region panic attribution (the S1 regression class), and
+/// shutdown reaching parked workers. Here we sweep strategies, seeds
+/// and panic plans; the per-region counts the master observes must
+/// match the plan under every schedule.
+#[test]
+fn region_protocol_conforms_under_every_strategy() {
+    // (name, plan): which ranks panic in which 1-based region.
+    let plans: [(&str, fn(u64, usize) -> bool); 3] = [
+        ("clean", |_, _| false),
+        ("one-per-odd-region", |seq, rank| seq % 2 == 1 && rank == 0),
+        ("burst-then-silent", |seq, rank| seq == 1 && rank != 1),
+    ];
+    for (name, plan) in plans {
+        for kind in StrategyKind::all() {
+            for seed in 0..8u64 {
+                for workers in [1usize, 3, 4] {
+                    // Actors = workers + the master slot.
+                    let mut strategy = kind.build(seed, workers + 1);
+                    let observed = virtual_region_protocol(4, workers, plan, &mut *strategy);
+                    let expected: Vec<usize> = (1..=4u64)
+                        .map(|seq| (0..workers).filter(|&w| plan(seq, w)).count())
+                        .collect();
+                    assert_eq!(
+                        observed, expected,
+                        "plan {name}, {kind:?} seed {seed} workers {workers}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The shutdown-during-park schedule on real threads: let workers burn
+/// through their spin budget and park between regions, then drop the
+/// pool while they sleep. Drop must wake and join every worker — a lost
+/// shutdown notify hangs this test. Repeated rounds vary the timing.
+#[test]
+fn shutdown_reaches_parked_workers() {
+    for round in 0..10 {
+        let mut pool = WorkerPool::new(3);
+        pool.run(|_| {});
+        // Long enough on any machine to exhaust the spin budget, so the
+        // workers are parked (or parking) when the pool drops.
+        std::thread::sleep(std::time::Duration::from_millis(2 + (round % 3)));
+        if round % 2 == 0 {
+            // Half the rounds publish a second region first, proving a
+            // parked worker wakes for work as well as for shutdown.
+            pool.run(|_| {});
+            assert_eq!(pool.regions_run(), 2);
+        }
+        drop(pool); // hangs here if shutdown misses a parked worker
+    }
 }
