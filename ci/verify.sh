@@ -17,6 +17,23 @@ if grep -rE "$banned" crates/*/Cargo.toml Cargo.toml; then
     exit 1
 fi
 
+# Static analysis lane (see docs/static-analysis.md): ezp-lint enforces
+# the invariants the runtime's correctness argument leans on — SAFETY:
+# comments on unsafe, ORDERING: justifications on weak atomics, a
+# lock-free scheduler hot path, seed-replay determinism in the ezp-check
+# modules, hermetic manifests, and live cfg(feature) gates. It runs
+# before the build lanes: the linter is std-only and compiles even when
+# the rest of the tree is broken, and its findings are cheaper to read
+# than a failed tier-2 lane. The JSON report is kept for tooling; on
+# failure the human-readable rerun prints the findings.
+if ! cargo run -q --offline -p ezp-lint -- --format=json > ci/lint-report.json; then
+    cargo run -q --offline -p ezp-lint || true
+    echo "error: ezp-lint found violations (report: ci/lint-report.json;" >&2
+    echo "       rules + suppression syntax: docs/static-analysis.md)." >&2
+    exit 1
+fi
+echo "verify: ezp-lint clean"
+
 # --workspace matters: the root package alone does not pull in the
 # easypap-cli binary the smoke test below runs.
 cargo build --release --offline --workspace

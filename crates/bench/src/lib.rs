@@ -10,6 +10,8 @@
 //! binary uses identical parameters.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use ezp_core::{Schedule, TileGrid};
 use ezp_kernels::mandel::{self, Viewport};

@@ -14,6 +14,8 @@
 //! sweeps of a big image do not, and tile size moves the miss rate.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod replay;
 pub mod sim;

@@ -13,6 +13,8 @@
 //! surface is unit-testable; the `src/bin/*.rs` wrappers only print.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod easypap;
 pub mod easyplot;

@@ -16,6 +16,8 @@
 //! output (`50 iterations completed in 579 ms` + CSV).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod color;
 pub mod csv;

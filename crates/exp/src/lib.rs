@@ -16,6 +16,8 @@
 //! result to the shared CSV that `ezp-plot` consumes.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use ezp_core::csv::CsvTable;
 use ezp_core::error::Result;

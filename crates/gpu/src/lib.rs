@@ -15,6 +15,8 @@
 //! paper announces as future work.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod device;
 pub mod profile;

@@ -28,6 +28,8 @@
 //! `ezp-simsched` to regenerate the paper's figures deterministically.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod blur;
 pub mod ccomp;

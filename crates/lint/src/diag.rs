@@ -1,0 +1,135 @@
+//! Diagnostics and their text / JSON renderings.
+
+use std::fmt;
+
+/// One finding: a rule violated at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name, e.g. `unsafe-needs-safety`.
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the lint root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation, including the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Output format of the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One `path:line: [rule] message` line per diagnostic.
+    Text,
+    /// A machine-readable report object (for `ci/lint-report.json`).
+    Json,
+}
+
+/// Renders a full report in the requested format.
+pub fn render(diags: &[Diagnostic], files_scanned: usize, format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for d in diags {
+                out.push_str(&d.to_string());
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "ezp-lint: {} diagnostic(s) in {} file(s) scanned\n",
+                diags.len(),
+                files_scanned
+            ));
+            out
+        }
+        Format::Json => {
+            let mut out = String::from("{\n");
+            out.push_str("  \"tool\": \"ezp-lint\",\n");
+            out.push_str("  \"version\": 1,\n");
+            out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+            out.push_str(&format!("  \"diagnostic_count\": {},\n", diags.len()));
+            out.push_str("  \"diagnostics\": [");
+            for (i, d) in diags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                    json_string(d.rule),
+                    json_string(&d.path),
+                    d.line,
+                    json_string(&d.message)
+                ));
+            }
+            if !diags.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push_str("]\n}\n");
+            out
+        }
+    }
+}
+
+/// Escapes a string for JSON output (the same minimal escaping
+/// `ezp-core::json` performs; duplicated here so the linter stays
+/// dependency-free).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: "unsafe-needs-safety",
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "an \"unsafe\" block needs a SAFETY: comment".into(),
+        }]
+    }
+
+    #[test]
+    fn text_format_is_one_line_per_diag_plus_summary() {
+        let out = render(&sample(), 3, Format::Text);
+        assert!(out.contains("crates/x/src/lib.rs:7: [unsafe-needs-safety]"));
+        assert!(out.contains("1 diagnostic(s) in 3 file(s)"));
+    }
+
+    #[test]
+    fn json_format_escapes_and_counts() {
+        let out = render(&sample(), 3, Format::Json);
+        assert!(out.contains("\"diagnostic_count\": 1"));
+        assert!(out.contains("\\\"unsafe\\\""));
+        assert!(out.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let out = render(&[], 0, Format::Json);
+        assert!(out.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # ezp-lint — static enforcement of the runtime's invariants
+//!
+//! PRs 3–4 rebuilt the scheduler hot path on hand-rolled atomics and
+//! guard it *dynamically* (ezp-check's schedule exploration, the
+//! shadow-write race detector). This crate is the *static* layer in
+//! front of that: a std-only analyzer that fails the build before the
+//! dynamic layer ever has to catch the bug. It ships six rules, each
+//! born from a real invariant in `crates/sched`, `crates/core` and
+//! `crates/testkit`:
+//!
+//! * **unsafe-needs-safety** — every `unsafe` site carries a `SAFETY:`
+//!   comment;
+//! * **ordering-needs-justification** — non-SeqCst atomic orderings in
+//!   `crates/sched` carry an `ORDERING:` comment (counter-only vs.
+//!   synchronizing);
+//! * **no-lock-in-hot-path** — `Mutex`/`RwLock`/`Condvar` stay out of
+//!   the de-contended files (`pool.rs`, `deque.rs`, `dispenser.rs`,
+//!   `taskgraph.rs`);
+//! * **determinism** — no wall clock or OS entropy in ezp-check-replayed
+//!   modules (`vexec.rs`, `shadow.rs`, `schedule.rs`);
+//! * **hermeticity** — no non-workspace dependencies in any manifest,
+//!   no `extern crate` outside the workspace;
+//! * **cfg-feature-exists** — every `#[cfg(feature = "…")]` names a
+//!   declared feature.
+//!
+//! The analyzer is a lightweight lexer (no `syn`): [`lexer`] classifies
+//! every character as code / comment / literal and tracks `#[cfg(test)]`
+//! regions by brace depth; [`rules`] pattern-match on the classified
+//! token stream. False positives are silenced per line with a comment
+//! marker — the tool name, a colon, then `allow(<rule>)` — and a
+//! suppression naming an unknown rule is itself reported. See `docs/static-analysis.md` for the full
+//! rule catalogue and how this complements ezp-check.
+//!
+//! Run it with `cargo run -p ezp-lint` (add `-- --format=json` for the
+//! CI report); it exits nonzero when any diagnostic survives.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::{render, Diagnostic, Format};
+pub use workspace::{lint_files, lint_workspace, Report};

@@ -1,0 +1,218 @@
+//! A miniature `Cargo.toml` reader.
+//!
+//! The hermeticity and cfg-feature rules need three facts per manifest:
+//! which features it declares, which dependencies it lists (and whether
+//! each is a path/workspace dependency), and where those entries sit
+//! (line numbers for diagnostics). A full TOML parser would be overkill
+//! — workspace manifests are machine-formatted — so this reader handles
+//! the subset Cargo itself documents: `[section]` headers, `key =
+//! value` pairs, dotted keys (`ezp-core.workspace = true`), inline
+//! tables (`{ workspace = true, optional = true }`) and `#` comments.
+
+/// One dependency entry of a manifest.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Crate name as written (dash form).
+    pub name: String,
+    /// 1-based line of the entry.
+    pub line: usize,
+    /// Section it came from (`dependencies`, `dev-dependencies`, …).
+    pub section: String,
+    /// True when the entry resolves inside the workspace: it carries
+    /// `workspace = true` or a `path = "…"` key.
+    pub hermetic: bool,
+    /// True when the dependency is declared `optional = true` (its name
+    /// doubles as an implicit feature).
+    pub optional: bool,
+}
+
+/// The facts ezp-lint needs from one `Cargo.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `package.name`, when present.
+    pub package_name: Option<String>,
+    /// Keys of the `[features]` table.
+    pub features: Vec<String>,
+    /// Entries of every dependency table.
+    pub deps: Vec<Dep>,
+}
+
+impl Manifest {
+    /// All names usable in `#[cfg(feature = "…")]` for this crate:
+    /// declared features plus optional dependencies.
+    pub fn known_features(&self) -> Vec<String> {
+        let mut all = self.features.clone();
+        for d in self.deps.iter().filter(|d| d.optional) {
+            if !all.contains(&d.name) {
+                all.push(d.name.clone());
+            }
+        }
+        all
+    }
+}
+
+/// Is this section header a dependency table? Covers `dependencies`,
+/// `dev-dependencies`, `build-dependencies`, `workspace.dependencies`
+/// and `target.'…'.dependencies` variants.
+fn dep_section(name: &str) -> bool {
+    name == "dependencies"
+        || name.ends_with(".dependencies")
+        || name.ends_with("dev-dependencies")
+        || name.ends_with("build-dependencies")
+}
+
+/// Parses manifest text. Never fails: unknown constructs are skipped,
+/// which keeps the linter usable on manifests it only partly
+/// understands (the rules then simply see fewer facts).
+pub fn parse(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let rest = rest.trim_start_matches('[');
+            if let Some(end) = rest.find(']') {
+                section = rest[..end].trim().to_string();
+                // `[dependencies.foo]` declares dependency `foo` as its
+                // own table; record it when the header itself names it.
+                if let Some(dep_name) = section.strip_prefix("dependencies.") {
+                    m.deps.push(Dep {
+                        name: dep_name.trim().to_string(),
+                        line: idx + 1,
+                        section: "dependencies".into(),
+                        hermetic: false,
+                        optional: false,
+                    });
+                }
+            }
+            continue;
+        }
+        let Some(eq) = trimmed.find('=') else {
+            continue;
+        };
+        let key = trimmed[..eq].trim();
+        let value = trimmed[eq + 1..].trim();
+        if section == "package" && key == "name" {
+            m.package_name = Some(unquote(value).to_string());
+        } else if section == "features" {
+            m.features.push(key_head(key).to_string());
+        } else if dep_section(&section) {
+            let name = key_head(key).to_string();
+            // Dotted key: `ezp-core.workspace = true`.
+            let dotted_tail = key.split_once('.').map(|(_, t)| t.trim());
+            let hermetic = matches!(dotted_tail, Some("workspace") | Some("path"))
+                || value.contains("workspace")
+                || value.contains("path");
+            let optional = value.contains("optional") && value.contains("true");
+            m.deps.push(Dep {
+                name,
+                line: idx + 1,
+                section: section.clone(),
+                hermetic,
+                optional,
+            });
+        } else if let Some(dep_name) = section.strip_prefix("dependencies.") {
+            // Keys inside an expanded `[dependencies.foo]` table.
+            if let Some(dep) = m.deps.iter_mut().rev().find(|d| d.name == dep_name) {
+                if key == "workspace" || key == "path" {
+                    dep.hermetic = true;
+                }
+                if key == "optional" && value.contains("true") {
+                    dep.optional = true;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// First segment of a possibly dotted key.
+fn key_head(key: &str) -> &str {
+    key.split('.').next().unwrap_or(key).trim()
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Removes surrounding double quotes, if present.
+fn unquote(v: &str) -> &str {
+    v.trim().trim_matches('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "ezp-sample" # trailing comment
+
+[features]
+ezp-check = ["ezp-core/ezp-check", "dep:ezp-testkit"]
+# a comment line
+extra = []
+
+[dependencies]
+ezp-core.workspace = true
+ezp-testkit = { workspace = true, optional = true }
+rand = "0.8"
+
+[dev-dependencies]
+ezp-perf = { path = "../perf" }
+"#;
+
+    #[test]
+    fn package_and_features_parse() {
+        let m = parse(SAMPLE);
+        assert_eq!(m.package_name.as_deref(), Some("ezp-sample"));
+        assert_eq!(m.features, vec!["ezp-check", "extra"]);
+    }
+
+    #[test]
+    fn deps_classify_hermetic_vs_registry() {
+        let m = parse(SAMPLE);
+        let by_name = |n: &str| m.deps.iter().find(|d| d.name == n).unwrap();
+        assert!(by_name("ezp-core").hermetic);
+        assert!(by_name("ezp-testkit").hermetic);
+        assert!(by_name("ezp-testkit").optional);
+        assert!(!by_name("rand").hermetic);
+        assert!(by_name("ezp-perf").hermetic);
+        assert_eq!(by_name("ezp-perf").section, "dev-dependencies");
+    }
+
+    #[test]
+    fn optional_deps_count_as_features() {
+        let m = parse(SAMPLE);
+        let known = m.known_features();
+        assert!(known.contains(&"ezp-check".to_string()));
+        assert!(known.contains(&"ezp-testkit".to_string()));
+        assert!(!known.contains(&"rand".to_string()));
+    }
+
+    #[test]
+    fn expanded_dependency_tables_parse() {
+        let m = parse("[dependencies.foo]\npath = \"../foo\"\noptional = true\n");
+        let foo = m.deps.iter().find(|d| d.name == "foo").unwrap();
+        assert!(foo.hermetic);
+        assert!(foo.optional);
+    }
+
+    #[test]
+    fn comment_stripping_respects_strings() {
+        assert_eq!(strip_toml_comment("a = \"x # y\" # z"), "a = \"x # y\" ");
+    }
+}

@@ -1,0 +1,462 @@
+//! The rule set: each rule enforces one invariant the scheduler's
+//! correctness argument leans on. See `docs/static-analysis.md` for the
+//! rationale behind every rule and the suppression syntax.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{find_word, has_word, Line};
+use crate::manifest::Manifest;
+
+/// How many *code* lines above a site a `SAFETY:` / `ORDERING:`
+/// comment may sit and still count as justifying it. Comment and blank
+/// lines do not consume the window — a long justification paragraph
+/// must not push itself out of range — but more than this much
+/// unrelated code between comment and site means the comment is
+/// justifying something else.
+pub const JUSTIFICATION_WINDOW: usize = 8;
+
+/// Names of all shipped rules, in reporting order.
+pub const RULE_NAMES: &[&str] = &[
+    "unsafe-needs-safety",
+    "ordering-needs-justification",
+    "no-lock-in-hot-path",
+    "determinism",
+    "hermeticity",
+    "cfg-feature-exists",
+];
+
+/// File names of the scheduler hot path, where blocking primitives are
+/// banned (PR 4 removed them; this rule keeps them out). `park.rs` is
+/// deliberately absent: it *is* the documented blocking fallback.
+const HOT_PATH_FILES: &[&str] = &["pool.rs", "deque.rs", "dispenser.rs", "taskgraph.rs"];
+
+/// Blocking primitives banned from the hot path.
+const LOCK_TOKENS: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// File names of ezp-check-replayed modules: code here re-executes
+/// under the virtual scheduler, where a run must be a pure function of
+/// `(strategy, seed)`.
+const REPLAYED_FILES: &[&str] = &["vexec.rs", "shadow.rs", "schedule.rs"];
+
+/// Wall-clock / OS-entropy constructs banned from replayed modules,
+/// with the replacement each message points at.
+const NONDETERMINISM: &[(&str, &str)] = &[
+    ("Instant", "virtual time (step counts) or a caller-supplied clock"),
+    ("SystemTime", "virtual time (step counts) or a caller-supplied clock"),
+    ("HashMap", "BTreeMap (RandomState-seeded iteration order varies per process)"),
+    ("HashSet", "BTreeSet (RandomState-seeded iteration order varies per process)"),
+    ("RandomState", "ezp_testkit::Rng, seeded from the schedule seed"),
+    ("thread_rng", "ezp_testkit::Rng, seeded from the schedule seed"),
+];
+
+/// External crates `extern crate` may legitimately name.
+const EXTERN_ALLOWED: &[&str] = &["std", "core", "alloc", "test", "proc_macro"];
+
+/// Atomic orderings that demand a written justification. `SeqCst` is
+/// the workspace's default spine and needs none; everything weaker (or
+/// mixed, like `AcqRel`) encodes a per-site argument that must be
+/// written down next to the site.
+const JUSTIFY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// A lexed `.rs` file plus the path facts rules scope on.
+pub struct SourceFile<'a> {
+    /// Path relative to the lint root, `/`-separated.
+    pub rel: &'a str,
+    /// Lexed lines.
+    pub lines: &'a [Line],
+    /// Features the owning crate declares (from the nearest manifest).
+    pub crate_features: &'a [String],
+    /// Package names of all workspace members (underscore form), for
+    /// the `extern crate` check.
+    pub workspace_crates: &'a [String],
+}
+
+impl SourceFile<'_> {
+    fn file_name(&self) -> &str {
+        self.rel.rsplit('/').next().unwrap_or(self.rel)
+    }
+
+    fn has_component(&self, comp: &str) -> bool {
+        self.rel.split('/').any(|c| c == comp)
+    }
+
+    /// Is `tag` present in a trailing comment on `line` or in a comment
+    /// within [`JUSTIFICATION_WINDOW`] *code* lines above it (comments
+    /// and blanks do not consume the window)?
+    fn justified(&self, line: usize, tag: &str) -> bool {
+        if self.lines[line].comment.contains(tag) {
+            return true;
+        }
+        let mut code_seen = 0usize;
+        let mut i = line;
+        while i > 0 && code_seen <= JUSTIFICATION_WINDOW {
+            i -= 1;
+            let l = &self.lines[i];
+            if l.comment.contains(tag) {
+                return true;
+            }
+            if !l.code.trim().is_empty() {
+                code_seen += 1;
+            }
+        }
+        false
+    }
+}
+
+/// Runs every source rule over one file, appending findings.
+pub fn check_source(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    unsafe_needs_safety(f, out);
+    ordering_needs_justification(f, out);
+    no_lock_in_hot_path(f, out);
+    determinism(f, out);
+    extern_crate_hermeticity(f, out);
+    cfg_feature_exists(f, out);
+}
+
+fn push(out: &mut Vec<Diagnostic>, rule: &'static str, f: &SourceFile<'_>, line: usize, msg: String) {
+    out.push(Diagnostic {
+        rule,
+        path: f.rel.to_string(),
+        line: line + 1,
+        message: msg,
+    });
+}
+
+/// **unsafe-needs-safety** — every `unsafe` block, fn, trait or impl
+/// must carry a `SAFETY:` comment on the same line or in the comment
+/// block directly above it. Applies everywhere, tests included: an
+/// unsound test is still unsound.
+fn unsafe_needs_safety(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, l) in f.lines.iter().enumerate() {
+        if has_word(&l.code, "unsafe") && !f.justified(i, "SAFETY:") {
+            push(
+                out,
+                "unsafe-needs-safety",
+                f,
+                i,
+                "unsafe site without a SAFETY: comment; state the invariant that makes \
+                 this sound (and who upholds it) within the 8 lines above"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// **ordering-needs-justification** — non-SeqCst atomic orderings in
+/// `crates/sched` production code need an `ORDERING:` comment saying
+/// whether the access is counter-only (Relaxed is fine) or part of a
+/// synchronizing edge (and with what it pairs). SeqCst sites are exempt
+/// — the workspace treats SeqCst as the default spine — which is also
+/// what allowlists whole SeqCst-spine files like `park.rs`.
+fn ordering_needs_justification(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    if !f.has_component("sched") {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = find_word_at(&l.code, "Ordering", from) {
+            from = pos + "Ordering".len();
+            let rest: String = l.code.chars().skip(from).collect();
+            let Some(tail) = rest.strip_prefix("::") else {
+                continue;
+            };
+            let ident: String = tail.chars().take_while(|c| c.is_alphanumeric()).collect();
+            if JUSTIFY_ORDERINGS.contains(&ident.as_str()) && !f.justified(i, "ORDERING:") {
+                push(
+                    out,
+                    "ordering-needs-justification",
+                    f,
+                    i,
+                    format!(
+                        "Ordering::{ident} without an ORDERING: comment; say whether this \
+                         access is counter-only or synchronizing (and what it pairs with)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// **no-lock-in-hot-path** — `Mutex` / `RwLock` / `Condvar` are banned
+/// from the scheduler hot-path files PR 4 de-contended
+/// (`pool.rs` / `deque.rs` / `dispenser.rs` / `taskgraph.rs` under a
+/// `sched` directory). Test modules are exempt: tests may use locks as
+/// oracles. The blocking fallback lives in `park.rs`, which is the one
+/// sched file this rule deliberately skips.
+fn no_lock_in_hot_path(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    if !f.has_component("sched") || !HOT_PATH_FILES.contains(&f.file_name()) {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for tok in LOCK_TOKENS {
+            if has_word(&l.code, tok) {
+                push(
+                    out,
+                    "no-lock-in-hot-path",
+                    f,
+                    i,
+                    format!(
+                        "{tok} in a de-contended hot-path file; use the lock-free protocols \
+                         (atomics + ParkLot fallback) or move the blocking code to park.rs"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// **determinism** — ezp-check replays runs from `(strategy, seed)`, so
+/// the replayed modules (`vexec.rs`, `shadow.rs`, `schedule.rs`) must
+/// not read wall clocks or OS entropy, and must not iterate
+/// RandomState-seeded maps. Test modules are exempt.
+fn determinism(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    if !REPLAYED_FILES.contains(&f.file_name()) {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for (tok, instead) in NONDETERMINISM {
+            if has_word(&l.code, tok) {
+                push(
+                    out,
+                    "determinism",
+                    f,
+                    i,
+                    format!(
+                        "{tok} in an ezp-check-replayed module breaks seed replay; \
+                         use {instead}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// **hermeticity** (source half) — `extern crate` may only name std
+/// facade crates or workspace members; anything else would need the
+/// registry the build bans. (The manifest half lives in
+/// [`check_manifest`].)
+fn extern_crate_hermeticity(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, l) in f.lines.iter().enumerate() {
+        let Some(pos) = find_word(&l.code, "extern", 0) else {
+            continue;
+        };
+        let rest: String = l.code.chars().skip(pos + "extern".len()).collect();
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("crate") else {
+            continue; // `extern "C"` etc.
+        };
+        let name: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| crate::lexer::is_ident_char(*c))
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let known = EXTERN_ALLOWED.contains(&name.as_str())
+            || f.workspace_crates.iter().any(|c| c == &name);
+        if !known {
+            push(
+                out,
+                "hermeticity",
+                f,
+                i,
+                format!(
+                    "extern crate {name} is not a workspace member; the build is hermetic \
+                     (no registry) — vendor the code in-tree or use an ezp-* substitute"
+                ),
+            );
+        }
+    }
+}
+
+/// **cfg-feature-exists** — every `feature = "…"` inside a `cfg`
+/// context must name a feature the owning crate's `Cargo.toml` declares
+/// (or an optional dependency). Catches dead gates left behind when a
+/// feature is renamed — code that silently never compiles again.
+fn cfg_feature_exists(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, l) in f.lines.iter().enumerate() {
+        if !l.code.contains("cfg") {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = find_word_at(&l.code, "feature", from) {
+            from = pos + "feature".len();
+            let rest: String = l.code.chars().skip(from).collect();
+            if !rest.trim_start().starts_with('=') {
+                continue;
+            }
+            // The value is the first string literal opening after `pos`.
+            let Some((_, name)) = l.strings.iter().find(|(sp, _)| *sp >= from) else {
+                continue;
+            };
+            if !f.crate_features.iter().any(|k| k == name) {
+                push(
+                    out,
+                    "cfg-feature-exists",
+                    f,
+                    i,
+                    format!(
+                        "cfg(feature = \"{name}\") names a feature the owning crate's \
+                         Cargo.toml does not declare; the gated code can never compile"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// **hermeticity** (manifest half) — every dependency in every
+/// dependency table must resolve inside the workspace (`workspace =
+/// true` or `path = "…"`). A bare registry dependency breaks the
+/// offline build before `cargo` even fetches it.
+pub fn check_manifest(rel: &str, m: &Manifest, out: &mut Vec<Diagnostic>) {
+    for d in &m.deps {
+        if !d.hermetic {
+            out.push(Diagnostic {
+                rule: "hermeticity",
+                path: rel.to_string(),
+                line: d.line,
+                message: format!(
+                    "[{}] entry \"{}\" is not a workspace path dependency; the build is \
+                     hermetic — use an in-tree crate (ezp-testkit replaces rand/proptest/\
+                     criterion; std::sync replaces crossbeam/parking_lot)",
+                    d.section, d.name
+                ),
+            });
+        }
+    }
+}
+
+/// `find_word` with an explicit start, re-exported for rule internals.
+fn find_word_at(code: &str, word: &str, from: usize) -> Option<usize> {
+    find_word(code, word, from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_file;
+
+    fn run(rel: &str, src: &str, features: &[&str]) -> Vec<Diagnostic> {
+        let lines = lex_file(src);
+        let features: Vec<String> = features.iter().map(|s| s.to_string()).collect();
+        let crates = vec!["ezp_core".to_string()];
+        let f = SourceFile {
+            rel,
+            lines: &lines,
+            crate_features: &features,
+            workspace_crates: &crates,
+        };
+        let mut out = Vec::new();
+        check_source(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires_and_with_safety_passes() {
+        let bad = run("x/src/a.rs", "unsafe { do_it() }\n", &[]);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "unsafe-needs-safety");
+        let good = run("x/src/a.rs", "// SAFETY: pointer is live\nunsafe { do_it() }\n", &[]);
+        assert!(good.is_empty());
+        let trailing = run("x/src/a.rs", "unsafe { do_it() } // SAFETY: live\n", &[]);
+        assert!(trailing.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        // nine *code* lines between comment and site exceed the window
+        let src = format!("// SAFETY: stale\n{}unsafe {{ x() }}\n", "let a = 1;\n".repeat(9));
+        assert_eq!(run("x/src/a.rs", &src, &[]).len(), 1);
+    }
+
+    #[test]
+    fn comment_and_blank_lines_do_not_consume_the_window() {
+        let src = format!(
+            "// SAFETY: long argument follows\n{}\nunsafe {{ x() }}\n",
+            "// …more prose\n".repeat(12)
+        );
+        assert!(run("x/src/a.rs", &src, &[]).is_empty());
+    }
+
+    #[test]
+    fn ordering_rule_scopes_to_sched_and_exempts_seqcst() {
+        let src = "a.store(1, Ordering::Relaxed);\n";
+        assert_eq!(run("crates/sched/src/pool.rs", src, &[]).len(), 1);
+        assert!(run("crates/perf/src/counters.rs", src, &[]).is_empty());
+        let seqcst = "a.store(1, Ordering::SeqCst);\n";
+        assert!(run("crates/sched/src/pool.rs", seqcst, &[]).is_empty());
+        let justified = "// ORDERING: counter-only\na.store(1, Ordering::Relaxed);\n";
+        assert!(run("crates/sched/src/pool.rs", justified, &[]).is_empty());
+    }
+
+    #[test]
+    fn ordering_rule_skips_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { a.load(Ordering::Relaxed); }\n}\n";
+        assert!(run("crates/sched/src/pool.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn locks_banned_only_in_hot_path_files() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(run("crates/sched/src/pool.rs", src, &[]).len(), 1);
+        assert!(run("crates/sched/src/park.rs", src, &[]).is_empty());
+        assert!(run("crates/monitor/src/live.rs", src, &[]).is_empty());
+        // simsched's taskgraph.rs is not the hot path
+        assert!(run("crates/simsched/src/taskgraph.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn lock_in_hot_path_test_module_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n";
+        assert!(run("crates/sched/src/deque.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn determinism_bans_wall_clock_in_replayed_files() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(run("crates/sched/src/vexec.rs", src, &[]).len(), 1);
+        assert!(run("crates/core/src/time.rs", src, &[]).is_empty());
+        let map = "let m: HashMap<u32, u32> = HashMap::new();\n";
+        assert_eq!(run("crates/core/src/shadow.rs", map, &[]).len(), 1);
+    }
+
+    #[test]
+    fn extern_crate_outside_workspace_is_flagged() {
+        assert_eq!(run("x/src/a.rs", "extern crate serde;\n", &[]).len(), 1);
+        assert!(run("x/src/a.rs", "extern crate std;\n", &[]).is_empty());
+        assert!(run("x/src/a.rs", "extern crate ezp_core;\n", &[]).is_empty());
+        assert!(run("x/src/a.rs", "extern \"C\" { fn f(); } // SAFETY: ffi decl\n", &[]).is_empty());
+    }
+
+    #[test]
+    fn cfg_feature_must_be_declared() {
+        let src = "#[cfg(feature = \"ezp-check\")]\nmod vexec;\n";
+        assert!(run("x/src/lib.rs", src, &["ezp-check"]).is_empty());
+        let bad = run("x/src/lib.rs", src, &["other"]);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "cfg-feature-exists");
+        // cfg! macro form
+        let mac = "if cfg!(feature = \"gone\") { x(); }\n";
+        assert_eq!(run("x/src/lib.rs", mac, &[]).len(), 1);
+    }
+
+    #[test]
+    fn manifest_registry_dep_is_flagged() {
+        let m = crate::manifest::parse("[dependencies]\nrand = \"0.8\"\nezp-core.workspace = true\n");
+        let mut out = Vec::new();
+        check_manifest("crates/x/Cargo.toml", &m, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("rand"));
+        assert_eq!(out[0].line, 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Workspace discovery and the lint engine driver.
+//!
+//! [`lint_workspace`] walks a directory tree, collects every `.rs` file
+//! and `Cargo.toml` (skipping `target/`, VCS metadata and the
+//! intentionally-bad `lint_fixtures/` corpora), resolves each source
+//! file to its owning manifest, runs the rules, and filters the
+//! findings through per-line suppressions.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex_file, Line};
+use crate::manifest::{self, Manifest};
+use crate::rules::{self, SourceFile, RULE_NAMES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "lint_fixtures", "node_modules"];
+
+/// A completed lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, in file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files (sources + manifests) scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every source file and manifest under `root`.
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut sources, &mut manifests);
+    lint_files(root, &sources, &manifests)
+}
+
+/// Lints an explicit file set (fixture tests use this to point the
+/// engine at a corpus directory). `root` anchors relative paths and the
+/// nearest-manifest search.
+pub fn lint_files(root: &Path, sources: &[PathBuf], manifests: &[PathBuf]) -> Report {
+    let mut report = Report::default();
+
+    // Parse every manifest once; key by owning directory.
+    let mut by_dir: BTreeMap<PathBuf, Manifest> = BTreeMap::new();
+    for mpath in manifests {
+        let Ok(text) = std::fs::read_to_string(mpath) else {
+            continue;
+        };
+        let m = manifest::parse(&text);
+        rules::check_manifest(&rel_path(root, mpath), &m, &mut report.diagnostics);
+        report.files_scanned += 1;
+        if let Some(dir) = mpath.parent() {
+            by_dir.insert(dir.to_path_buf(), m);
+        }
+    }
+
+    // Workspace member names in underscore form, for `extern crate`.
+    let workspace_crates: Vec<String> = by_dir
+        .values()
+        .filter_map(|m| m.package_name.as_ref())
+        .map(|n| n.replace('-', "_"))
+        .collect();
+
+    for spath in sources {
+        let Ok(text) = std::fs::read_to_string(spath) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let lines = lex_file(&text);
+        let features = nearest_manifest(&by_dir, root, spath)
+            .map(|m| m.known_features())
+            .unwrap_or_default();
+        let rel = rel_path(root, spath);
+        let file = SourceFile {
+            rel: &rel,
+            lines: &lines,
+            crate_features: &features,
+            workspace_crates: &workspace_crates,
+        };
+        let mut found = Vec::new();
+        rules::check_source(&file, &mut found);
+        report
+            .diagnostics
+            .extend(found.into_iter().filter(|d| !suppressed(&lines, d)));
+        // Validate the suppressions themselves: an `allow(...)` naming
+        // an unknown rule silently does nothing — exactly how a typo
+        // would disarm a real suppression — so it is itself a finding.
+        for (i, line) in lines.iter().enumerate() {
+            for a in &line.allows {
+                if !RULE_NAMES.contains(&a.as_str()) {
+                    report.diagnostics.push(Diagnostic {
+                        rule: "unknown-suppression",
+                        path: rel.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "allow({a}) names no known rule; valid rules: {}",
+                            RULE_NAMES.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    report.diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    report
+}
+
+/// Is `d` switched off by an `allow(rule)` marker comment on its own
+/// line or on the line directly above it?
+fn suppressed(lines: &[Line], d: &Diagnostic) -> bool {
+    let idx = d.line - 1; // diagnostics are 1-based
+    let covering = [idx.checked_sub(1), Some(idx)];
+    covering.into_iter().flatten().any(|i| {
+        lines
+            .get(i)
+            .is_some_and(|l| l.allows.iter().any(|a| a == d.rule))
+    })
+}
+
+/// The manifest owning `file`: nearest `Cargo.toml` walking up from the
+/// file's directory, stopping at `root`.
+fn nearest_manifest<'m>(
+    by_dir: &'m BTreeMap<PathBuf, Manifest>,
+    root: &Path,
+    file: &Path,
+) -> Option<&'m Manifest> {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        if let Some(m) = by_dir.get(d) {
+            return Some(m);
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// `/`-separated path of `p` relative to `root`.
+fn rel_path(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Recursively collects `.rs` sources and `Cargo.toml` manifests.
+fn walk(root: &Path, dir: &Path, sources: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, sources, manifests);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        } else if name.ends_with(".rs") {
+            sources.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_are_slash_separated_and_root_relative() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_path(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+
+    #[test]
+    fn suppression_covers_own_and_next_line() {
+        let lines = lex_file(
+            "// ezp-lint: allow(determinism)\nlet t = x();\nlet u = y();\n",
+        );
+        let mk = |line| Diagnostic {
+            rule: "determinism",
+            path: "f.rs".into(),
+            line,
+            message: String::new(),
+        };
+        assert!(suppressed(&lines, &mk(1)));
+        assert!(suppressed(&lines, &mk(2)));
+        assert!(!suppressed(&lines, &mk(3)));
+    }
+}

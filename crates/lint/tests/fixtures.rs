@@ -1,0 +1,112 @@
+//! Corpus-driven conformance tests: every rule has a `bad/` tree that
+//! must fire (and fire only that rule) and a `good/` tree that must be
+//! clean. The corpus lives under `tests/lint_fixtures/`, which the
+//! workspace walker deliberately skips so the intentionally-bad files
+//! never fail the self-clean run.
+
+use ezp_lint::{lint_workspace, Report};
+use std::path::PathBuf;
+
+fn fixture(case: &str) -> Report {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_fixtures")
+        .join(case);
+    lint_workspace(&dir)
+}
+
+/// Asserts the `bad/` side of `case` fires `rule` at least once and
+/// fires nothing else, and the `good/` side is completely clean.
+fn assert_pair(case: &str, rule: &str) {
+    let bad = fixture(&format!("{case}/bad"));
+    assert!(
+        !bad.diagnostics.is_empty(),
+        "{case}/bad produced no findings"
+    );
+    for d in &bad.diagnostics {
+        assert_eq!(
+            d.rule, rule,
+            "{case}/bad fired unexpected rule {} at {}:{}",
+            d.rule, d.path, d.line
+        );
+    }
+    let good = fixture(&format!("{case}/good"));
+    assert!(
+        good.diagnostics.is_empty(),
+        "{case}/good is not clean:\n{}",
+        good.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn unsafe_needs_safety_pair() {
+    assert_pair("unsafe_safety", "unsafe-needs-safety");
+}
+
+#[test]
+fn ordering_needs_justification_pair() {
+    assert_pair("ordering", "ordering-needs-justification");
+}
+
+#[test]
+fn no_lock_in_hot_path_pair() {
+    assert_pair("hotpath", "no-lock-in-hot-path");
+}
+
+#[test]
+fn determinism_pair() {
+    assert_pair("determinism", "determinism");
+}
+
+#[test]
+fn hermeticity_pair() {
+    // Fires from both halves of the rule: the registry dependency in
+    // Cargo.toml and the `extern crate` in the source file.
+    assert_pair("hermeticity", "hermeticity");
+    let bad = fixture("hermeticity/bad");
+    let paths: Vec<&str> = bad.diagnostics.iter().map(|d| d.path.as_str()).collect();
+    assert!(paths.iter().any(|p| p.ends_with("Cargo.toml")));
+    assert!(paths.iter().any(|p| p.ends_with(".rs")));
+}
+
+#[test]
+fn cfg_feature_exists_pair() {
+    assert_pair("cfgfeature", "cfg-feature-exists");
+}
+
+#[test]
+fn suppression_round_trip() {
+    // `suppression/allowed` is byte-for-byte the `ordering/bad`
+    // violation plus an `allow(ordering-needs-justification)` marker on
+    // the line above the site: the unsuppressed twin fires (previous
+    // test), the suppressed one must not.
+    let allowed = fixture("suppression/allowed");
+    assert!(
+        allowed.diagnostics.is_empty(),
+        "suppression did not switch the finding off:\n{}",
+        allowed
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn unknown_suppression_is_itself_a_finding() {
+    let report = fixture("suppression/unknown");
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.diagnostics[0].rule, "unknown-suppression");
+    assert!(report.diagnostics[0].message.contains("no-such-rule"));
+}
+
+#[test]
+fn reports_count_scanned_files() {
+    let report = fixture("hermeticity/bad");
+    // one Cargo.toml + one .rs
+    assert_eq!(report.files_scanned, 2);
+}

@@ -1,0 +1,5 @@
+//! Fixture: a cfg gate naming a feature the manifest never declares —
+//! the gated code can never compile again.
+
+#[cfg(feature = "ezp-check")]
+pub fn gated() {}

@@ -1,0 +1,9 @@
+//! Fixture: the cfg gate matches a declared feature (attribute and
+//! `cfg!` macro forms).
+
+#[cfg(feature = "ezp-check")]
+pub fn gated() {}
+
+pub fn probe() -> bool {
+    cfg!(feature = "ezp-check")
+}

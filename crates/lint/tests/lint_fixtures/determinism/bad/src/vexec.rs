@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads and RandomState-seeded maps in an
+//! ezp-check-replayed module.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn replay() -> u64 {
+    let t = Instant::now();
+    let mut seen: HashMap<usize, u64> = HashMap::new();
+    seen.insert(0, 1);
+    t.elapsed().as_nanos() as u64 + seen.len() as u64
+}

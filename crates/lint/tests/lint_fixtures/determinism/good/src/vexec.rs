@@ -1,0 +1,10 @@
+//! Fixture: the replayed module is a pure function of its inputs —
+//! virtual time and ordered maps only.
+
+use std::collections::BTreeMap;
+
+pub fn replay(steps: u64) -> u64 {
+    let mut seen: BTreeMap<usize, u64> = BTreeMap::new();
+    seen.insert(0, 1);
+    steps + seen.len() as u64
+}

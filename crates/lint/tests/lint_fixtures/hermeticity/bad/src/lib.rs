@@ -1,0 +1,3 @@
+//! Fixture: `extern crate` naming a crate outside the workspace.
+
+extern crate rand;

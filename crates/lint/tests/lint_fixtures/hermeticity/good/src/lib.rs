@@ -1,0 +1,5 @@
+//! Fixture: `extern crate` may name std facade crates and workspace
+//! members.
+
+extern crate std;
+extern crate fixture_good;

@@ -1,0 +1,7 @@
+//! Fixture: blocking primitives in a de-contended hot-path file.
+
+use std::sync::Mutex;
+
+pub struct Pool {
+    queue: Mutex<Vec<usize>>,
+}

@@ -1,0 +1,9 @@
+//! Fixture: `park.rs` is the sanctioned blocking fallback — locks are
+//! allowed here even under a `sched` directory.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct ParkLot {
+    gate: Mutex<bool>,
+    bell: Condvar,
+}

@@ -1,0 +1,13 @@
+//! Fixture: the hot path stays on atomics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Pool {
+    pending: AtomicUsize,
+}
+
+impl Pool {
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+}

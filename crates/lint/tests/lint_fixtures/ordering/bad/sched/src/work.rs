@@ -1,0 +1,8 @@
+//! Fixture: a weak atomic ordering in sched code with no written
+//! justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

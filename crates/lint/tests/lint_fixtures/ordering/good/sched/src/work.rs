@@ -1,0 +1,13 @@
+//! Fixture: weak orderings justified, SeqCst exempt by default.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    // ORDERING: counter-only — the value is read back by a single
+    // aggregator after join; no data is published along this edge.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(c: &AtomicUsize) {
+    c.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,9 @@
+//! Fixture: the same violation as `ordering/bad`, switched off by an
+//! in-source suppression marker on the line above the site.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    // ezp-lint: allow(ordering-needs-justification)
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+//! Fixture: a suppression naming a rule that does not exist — exactly
+//! how a typo would silently disarm a real suppression.
+
+// ezp-lint: allow(no-such-rule)
+pub fn f() {}

@@ -1,0 +1,5 @@
+//! Fixture: an unsafe block with no safety argument anywhere near it.
+
+pub fn grab(p: *const u32) -> u32 {
+    unsafe { *p }
+}

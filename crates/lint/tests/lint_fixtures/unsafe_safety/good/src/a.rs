@@ -1,0 +1,12 @@
+//! Fixture: every unsafe site carries a SAFETY: argument.
+
+pub fn grab(p: *const u32) -> u32 {
+    // SAFETY: callers pass a pointer derived from a live `&u32`, so the
+    // read is in-bounds and the pointee is initialized.
+    unsafe { *p }
+}
+
+/// Trailing-comment placement also counts.
+pub fn grab2(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: same contract as `grab`
+}

@@ -16,6 +16,8 @@
 //! `ezp-view`'s job.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod activity;
 pub mod live;

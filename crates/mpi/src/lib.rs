@@ -16,6 +16,8 @@
 //! * [`ghost`] — row-block decomposition and ghost-row exchange helpers.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod collective;
 pub mod comm;

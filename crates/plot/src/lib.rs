@@ -14,6 +14,8 @@
 //! reports.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod chart;
 pub mod dataset;

@@ -22,6 +22,8 @@
 //!   of frames.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod anim;
 pub mod ansi;

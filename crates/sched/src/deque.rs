@@ -88,6 +88,8 @@ impl TaskDeque {
     /// Panics if the deque is full — the executor sizes each deque for
     /// the whole graph, so hitting this is a bug, not a load condition.
     pub fn push(&self, task: usize) {
+        // ORDERING: counter-only (owner-private). Only the owner writes
+        // `bottom`, so it reads its own last store; Relaxed is enough.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::SeqCst);
         assert!(
@@ -95,6 +97,10 @@ impl TaskDeque {
             "TaskDeque overflow: capacity {} exhausted",
             self.buf.len()
         );
+        // ORDERING: synchronizing via the spine, not locally — the slot
+        // store is ordered before the SeqCst `bottom` publication below,
+        // and a thief reads the slot only after observing that `bottom`,
+        // so the Relaxed slot store is never read early.
         self.buf[b as usize & self.mask].store(task, Ordering::Relaxed);
         // Publish the slot before the new bottom becomes visible.
         self.bottom.store(b + 1, Ordering::SeqCst);
@@ -102,6 +108,8 @@ impl TaskDeque {
 
     /// Owner-only: pops the most recently pushed task (LIFO).
     pub fn pop(&self) -> Option<usize> {
+        // ORDERING: counter-only (owner-private read of `bottom`, same
+        // argument as in `push`).
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         // Reserve the slot first so a concurrent thief sees the deque
         // one shorter; the SeqCst store/load pair below makes the
@@ -113,6 +121,8 @@ impl TaskDeque {
             self.bottom.store(b + 1, Ordering::SeqCst);
             return None;
         }
+        // ORDERING: counter-only (owner-private). The slot at `b` was
+        // last written by our own `push`; thieves never write slots.
         let task = self.buf[b as usize & self.mask].load(Ordering::Relaxed);
         if t == b {
             // Last element: race the thieves for it via `top`.
@@ -136,6 +146,11 @@ impl TaskDeque {
         }
         // Read the slot before claiming it; if the CAS below fails the
         // value is stale and simply discarded (plain integer, no ABA).
+        // ORDERING: synchronizing via the spine, not locally — the SeqCst
+        // `bottom` load above happens-after the owner's SeqCst publish of
+        // `bottom`, which orders the owner's Relaxed slot store before
+        // this Relaxed load; a stale value can only flow into a failing
+        // CAS.
         let task = self.buf[t as usize & self.mask].load(Ordering::Relaxed);
         match self
             .top

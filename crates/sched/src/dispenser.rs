@@ -113,6 +113,10 @@ impl StaticBlock {
 
 impl Dispenser for StaticBlock {
     fn next(&self, rank: usize) -> Option<(usize, usize)> {
+        // ORDERING: counter-only. The swap's *atomicity* is what grants
+        // the block at most once; the block bounds are computed from
+        // immutable fields, so no data rides on this edge and Relaxed
+        // suffices.
         if rank >= self.threads || self.taken[rank].swap(1, Ordering::Relaxed) == 1 {
             return None;
         }
@@ -156,6 +160,9 @@ impl Dispenser for StaticCyclic {
         if rank >= self.threads {
             return None;
         }
+        // ORDERING: counter-only (and per-rank private besides): the
+        // cursor is just an index generator; chunk bounds derive from
+        // immutable fields, so nothing synchronizes on this increment.
         let chunk = self.cursor[rank].fetch_add(self.threads, Ordering::Relaxed);
         let start = chunk * self.k;
         if start >= self.n {
@@ -191,6 +198,9 @@ impl DynamicChunks {
 
 impl Dispenser for DynamicChunks {
     fn next(&self, _rank: usize) -> Option<(usize, usize)> {
+        // ORDERING: counter-only. The fetch_add's atomicity hands each
+        // chunk out exactly once; the iteration payload is reached via
+        // the region's own synchronization, not this cursor.
         let start = self.cursor.fetch_add(self.k, Ordering::Relaxed);
         if start >= self.n {
             return None;
@@ -229,6 +239,8 @@ impl GuidedChunks {
 
 impl Dispenser for GuidedChunks {
     fn next(&self, _rank: usize) -> Option<(usize, usize)> {
+        // ORDERING: counter-only. The cursor is a pure index allocator;
+        // no other memory is published through it.
         let mut cur = self.cursor.load(Ordering::Relaxed);
         loop {
             if cur >= self.n {
@@ -236,6 +248,9 @@ impl Dispenser for GuidedChunks {
             }
             let remaining = self.n - cur;
             let chunk = (remaining.div_ceil(2 * self.threads)).max(self.k).min(remaining);
+            // ORDERING: counter-only. A successful CAS atomically claims
+            // `[cur, cur+chunk)`; the claim itself is the whole payload,
+            // so Relaxed on success and failure both suffice.
             match self.cursor.compare_exchange_weak(
                 cur,
                 cur + chunk,
@@ -383,6 +398,10 @@ impl StealingDispenser {
         }
         // Shared range drained; serve the private remainder (plain
         // single-writer reads/writes — no CAS needed).
+        // ORDERING: counter-only (rank-private). The remainder slots are
+        // written and read only by this rank (the Dispenser rank-serial
+        // protocol), so every Relaxed load sees the rank's own last
+        // store; no cross-thread edge exists to order.
         let lo = self.remainders[rank].lo.load(Ordering::Relaxed);
         let hi = self.remainders[rank].hi.load(Ordering::Relaxed);
         if lo >= hi {
@@ -396,6 +415,9 @@ impl StealingDispenser {
     /// Steals half of the largest victim's stealable remainder into
     /// `rank`'s private remainder, then serves from it.
     fn steal(&self, rank: usize) -> Option<(usize, usize)> {
+        // ORDERING: counter-only here; the later Release increment of
+        // `succeeded` is what publishes this attempt to stats readers
+        // (see `steal_stats` for the pairing).
         self.stats[rank].attempted.fetch_add(1, Ordering::Relaxed);
         loop {
             // Pick the victim with the most stealable work left.
@@ -438,6 +460,8 @@ impl StealingDispenser {
             }
             // [start, hi) is now detached: no shared word contains it and
             // it can never re-enter one. Park it in our private slot.
+            // ORDERING: counter-only (rank-private slots, same argument
+            // as in `take_local` — only this rank touches them).
             debug_assert!(
                 self.remainders[rank].lo.load(Ordering::Relaxed)
                     >= self.remainders[rank].hi.load(Ordering::Relaxed),
@@ -445,10 +469,10 @@ impl StealingDispenser {
             );
             self.remainders[rank].lo.store(start, Ordering::Relaxed);
             self.remainders[rank].hi.store(hi, Ordering::Relaxed);
-            // Release-publish the success *after* the attempt increment
-            // (program order) so a concurrent stats reader that acquires
-            // this count also sees the matching attempt — the
-            // attempted >= succeeded report invariant.
+            // ORDERING: synchronizing. Release-publish the success
+            // *after* the attempt increment (program order) so a stats
+            // reader that Acquire-loads this count also sees the
+            // matching attempt — the attempted >= succeeded invariant.
             self.stats[rank].succeeded.fetch_add(1, Ordering::Release);
             return self.take_local(rank);
         }
@@ -472,13 +496,14 @@ impl Dispenser for StealingDispenser {
             self.stats
                 .iter()
                 .map(|s| {
-                    // Coherent mid-flight snapshot: load `succeeded` first
-                    // (Acquire, pairing with the Release increment), then
-                    // `attempted`. Every success counted was preceded by
-                    // its attempt increment in its writer's program order,
-                    // and the acquire/release pair makes those attempts
-                    // visible here — so attempted >= succeeded holds in
-                    // every report, even one racing the steal path.
+                    // ORDERING: synchronizing (coherent mid-flight
+                    // snapshot). Load `succeeded` first — Acquire, pairing
+                    // with the Release increment in `steal` — then
+                    // `attempted` (Relaxed: its visibility rides the same
+                    // pair). Every success counted was preceded by its
+                    // attempt increment in the writer's program order, so
+                    // attempted >= succeeded holds in every report, even
+                    // one racing the steal path.
                     let succeeded = s.succeeded.load(Ordering::Acquire);
                     let attempted = s.attempted.load(Ordering::Relaxed);
                     StealStats {

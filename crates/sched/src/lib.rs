@@ -23,6 +23,12 @@
 //! same policies in virtual time for deterministic analysis.
 
 #![warn(missing_docs)]
+// `unsafe_code` is deliberately NOT denied here: `pool` (lifetime-erased
+// closure dispatch) and `img_cell` (disjoint-tile aliasing) are the two
+// sanctioned unsafe islands of the workspace. Every `unsafe` block in
+// them carries a `SAFETY:` argument, enforced by `ezp-lint`'s
+// `unsafe-needs-safety` rule.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod deque;
 pub mod dispenser;

@@ -114,6 +114,9 @@ struct PoolState {
 
 impl PoolState {
     fn record_wait(&self, stats: crate::park::WaitStats) {
+        // ORDERING: counter-only. The spin/park totals feed the stats
+        // report; nothing synchronizes on them, so Relaxed increments
+        // suffice (monotonicity is all the readers rely on).
         if stats.spins > 0 {
             self.stat_spins.fetch_add(stats.spins, Ordering::Relaxed);
         }
@@ -180,6 +183,9 @@ impl WorkerPool {
     /// so far). Deltas across a region quantify how much launching and
     /// closing it had to block.
     pub fn sync_stats(&self) -> PoolSyncStats {
+        // ORDERING: counter-only snapshot of the Relaxed totals above;
+        // the two loads need no ordering between them (the report is
+        // explicitly approximate while a region is in flight).
         PoolSyncStats {
             parks: self.state.stat_parks.load(Ordering::Relaxed),
             spins: self.state.stat_spins.load(Ordering::Relaxed),
@@ -197,16 +203,18 @@ impl WorkerPool {
         self.next_seq += 1;
         let seq = self.next_seq;
         let state = &*self.state;
-        // Reset per-region accounting. Plain/relaxed stores suffice:
-        // the SeqCst `job_seq` publication below orders them before any
-        // worker activity of this region.
+        // ORDERING: synchronizing via the spine, not locally — these
+        // Relaxed resets are ordered before any worker activity of this
+        // region by the SeqCst `job_seq` publication below (workers only
+        // act after observing the epoch bump).
         state.panics.store(0, Ordering::Relaxed);
         state.remaining.store(self.threads, Ordering::Relaxed);
-        // Erase the closure, including its lifetime: the pointee outlives
-        // the region because this function owns `f` and blocks until every
-        // worker reports done, so extending the pointer to `'static` is
-        // sound under the protocol documented at the top of the module.
         let ptr: *const (dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the transmute only erases the pointee's lifetime to
+        // `'static`. The pointee outlives every dereference because this
+        // function owns `f` and blocks until `done_seq == seq` (protocol
+        // step 4), which happens-after the last worker's use of the
+        // pointer — so no worker can dereference it after `f` is dropped.
         let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
         // SAFETY: the pool is quiescent (protocol step 1) — no worker
         // reads the cell until the `job_seq` store below.
@@ -274,10 +282,17 @@ fn worker_loop(rank: usize, state: Arc<PoolState>) {
         // SAFETY: gated on the epoch bump (protocol step 2); `run`
         // keeps the closure alive until we decrement `remaining`.
         let job = unsafe { (*state.job.0.get()).expect("epoch published without a job") };
+        // SAFETY: `job.ptr` points at the closure `run` owns for this
+        // epoch; it stays valid until our `remaining` decrement below,
+        // which is the last thing this iteration does with it.
         let f = unsafe { &*job.ptr };
         if std::panic::catch_unwind(AssertUnwindSafe(|| f(rank))).is_err() {
             state.panics.fetch_add(1, Ordering::SeqCst);
         }
+        // ORDERING: synchronizing. AcqRel makes each worker's closure
+        // effects visible to whichever worker decrements last (Acquire
+        // pairs with every earlier Release decrement), and that last
+        // worker's SeqCst `done_seq` store releases the lot to `run`.
         if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last worker out closes the region.
             state.done_seq.store(last_seq, Ordering::SeqCst);

@@ -246,6 +246,11 @@ impl TaskGraph {
                     }
                     f(task, rank);
                     let mut released = false;
+                    // ORDERING: synchronizing. Each predecessor's Release
+                    // half orders its task's effects before the decrement;
+                    // the Acquire half of the *final* decrement (the one
+                    // seeing 1) makes every predecessor's effects visible
+                    // to whoever runs the released dependent.
                     for &d in &self.dependents[task] {
                         if indegree[d].fetch_sub(1, Ordering::AcqRel) == 1 {
                             my.push(d);

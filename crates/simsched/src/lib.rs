@@ -24,6 +24,8 @@
 //! substitution table).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod analysis;
 pub mod cost;

@@ -20,6 +20,9 @@
 //! default seed is a fixed constant, and the per-test stream is derived from
 //! the test name so adding a property never perturbs its neighbours.
 
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bench;
 pub mod prop;
 pub mod rng;

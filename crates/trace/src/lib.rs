@@ -17,6 +17,8 @@
 //! comparison) lives in `ezp-view`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod chrome;
 pub mod io;

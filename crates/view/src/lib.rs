@@ -18,6 +18,8 @@
 //!   distribution detection in tiling snapshots.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod compare;
 pub mod coverage;

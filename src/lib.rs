@@ -19,6 +19,8 @@
 //! See `README.md` for the tour and `DESIGN.md` for the architecture.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub use ezp_cache as cache;
 pub use ezp_core as core;
