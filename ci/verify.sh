@@ -95,6 +95,42 @@ else
 fi
 rm -f "$bench_json"
 
+# Streaming bench gate: same idea for the skeleton engine. The compared
+# quantity is the parallel/sequential frames-per-sec ratio per emission
+# mode per farm width — self-normalizing against host speed — with the
+# same >20% regression tolerance vs ci/BENCH_stream.json.
+stream_json="$(mktemp)"
+EZP_BENCH_SMOKE=1 EZP_BENCH_JSON="$stream_json" \
+    cargo bench -q --offline -p ezp-bench --bench stream >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$stream_json" ci/BENCH_stream.json <<'EOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = 0.8  # fail on >20% regression vs the committed baseline ratio
+failed = False
+for mode in ("ordered", "unordered"):
+    for i, w in enumerate(base["widths"]):
+        cr = cur[mode]["frames_per_sec"][i] / cur["seq_baseline"]["frames_per_sec"][0]
+        br = base[mode]["frames_per_sec"][i] / base["seq_baseline"]["frames_per_sec"][0]
+        status = "ok"
+        if cr < tol * br:
+            status = "REGRESSION"
+            failed = True
+        print(f"verify: bench stream {mode} @width {w} par/seq "
+              f"{cr:.2f}x (baseline {br:.2f}x) {status}")
+if failed:
+    sys.exit("verify: stream bench regressed >20% vs ci/BENCH_stream.json")
+print("verify: stream bench within 20% of committed baseline ratios")
+EOF
+else
+    for key in widths ordered unordered seq_baseline frames_per_sec; do
+        grep -q "\"$key\"" "$stream_json"
+    done
+    echo "verify: stream bench JSON OK (grep fallback, no ratio diff)"
+fi
+rm -f "$stream_json"
+
 # Observability smoke test: a real run must emit a parseable JSON stats
 # report with a non-zero task count (the --stats pipeline end to end).
 stats_dir="$(mktemp -d)"
@@ -123,5 +159,29 @@ EOF
         echo "verify: stats JSON OK (grep fallback)"
     fi
 )
+
+# Streaming smoke lane: a 2-worker ordered pipeline run over 16 frames
+# must stream end to end and its --stats=json report must carry the
+# streaming counters (docs/streaming.md).
+stream_dir="$(mktemp -d)"
+(
+    cd "$stream_dir"
+    "$OLDPWD/target/release/easypap" --kernel mandel_zoom --stream=16 \
+        --threads 2 --farm-width 2 --size 32 --no-display \
+        --stats=json > stream_run.out
+    grep -q "16 frames streamed" stream_run.out
+    sed -n '/^{/,$p' stream_run.out > stream_stats.json
+    for counter in frames_emitted frames_in_flight reorder_buffer_depth \
+                   stage_occupancy backpressure_stalls; do
+        grep -q "\"name\": *\"$counter\"" stream_stats.json || {
+            echo "error: streaming counter $counter missing from --stats=json" >&2
+            exit 1
+        }
+    done
+    grep -A2 '"name": *"frames_emitted"' stream_stats.json \
+        | grep -qE '"total": *16'
+    echo "verify: streaming smoke OK (16 frames, counters present)"
+)
+rm -rf "$stream_dir"
 
 echo "verify: OK (offline build + tests green, no registry deps, stats JSON parses)"

@@ -1,0 +1,106 @@
+//! Streaming-skeleton throughput: frames/sec of the pipeline engine in
+//! ordered and unordered emission across a farm-width sweep, against
+//! the sequential one-frame-at-a-time baseline — the numbers behind
+//! `ci/BENCH_stream.json`.
+//!
+//! Run with `cargo bench -p ezp-bench --bench stream`.
+//!
+//! * `EZP_BENCH_CSV=path` appends every result as CSV.
+//! * `EZP_BENCH_JSON=path` writes the frames/sec summary as JSON — the
+//!   file `ci/verify.sh` diffs against the committed baseline. The gate
+//!   compares parallel/sequential *ratios*, so a slow CI host does not
+//!   fail it, but the engine regressing >20% relative to its own
+//!   in-run baseline does.
+//! * `EZP_BENCH_SMOKE=1` shrinks frame counts so the lane finishes in
+//!   seconds; frames/sec rates stay comparable, only noisier.
+
+use ezp_core::kernel::NullProbe;
+use ezp_sched::WorkerPool;
+use ezp_stream::{stream_kernel, EmitMode, StreamKernel};
+use ezp_testkit::{Bench, BenchSet};
+
+const WIDTH_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var("EZP_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+struct StreamRates {
+    ordered: Vec<f64>,
+    unordered: Vec<f64>,
+    seq_baseline: f64,
+}
+
+fn stream_rates(set: &mut BenchSet) -> StreamRates {
+    let (dim, frames) = if smoke() { (24, 12) } else { (48, 48) };
+    let kernel: Box<dyn StreamKernel> =
+        stream_kernel("mandel_zoom").expect("mandel_zoom missing from the stream registry");
+
+    let r = set.bench("stream_seq", "baseline", || {
+        std::hint::black_box(kernel.run_seq(dim, frames)).len()
+    });
+    let seq_baseline = frames as f64 * 1e9 / r.min_ns.max(1) as f64;
+
+    let mut ordered = Vec::new();
+    let mut unordered = Vec::new();
+    let mut pool = WorkerPool::new(8);
+    for &w in &WIDTH_SWEEP {
+        for (mode, rates) in [
+            (EmitMode::Ordered, &mut ordered),
+            (EmitMode::Unordered, &mut unordered),
+        ] {
+            let name = match mode {
+                EmitMode::Ordered => "stream_ordered",
+                EmitMode::Unordered => "stream_unordered",
+            };
+            let r = set.bench(name, &w.to_string(), || {
+                let (out, stats) = kernel
+                    .run(dim, frames, mode, w, &mut pool, &NullProbe)
+                    .unwrap();
+                assert_eq!(stats.frames, frames);
+                std::hint::black_box(out).len()
+            });
+            rates.push(frames as f64 * 1e9 / r.min_ns.max(1) as f64);
+        }
+    }
+    StreamRates {
+        ordered,
+        unordered,
+        seq_baseline,
+    }
+}
+
+fn json_array(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn write_json(path: &str, mode: &str, rates: &StreamRates) -> std::io::Result<()> {
+    let widths: Vec<String> = WIDTH_SWEEP.iter().map(|w| w.to_string()).collect();
+    let body = format!(
+        "{{\n  \"bench\": \"stream\",\n  \"mode\": \"{mode}\",\n  \"widths\": [{}],\n  \
+         \"ordered\": {{\n    \"frames_per_sec\": {}\n  }},\n  \"unordered\": {{\n    \
+         \"frames_per_sec\": {}\n  }},\n  \"seq_baseline\": {{\n    \
+         \"frames_per_sec\": [{:.1}]\n  }}\n}}\n",
+        widths.join(", "),
+        json_array(&rates.ordered),
+        json_array(&rates.unordered),
+        rates.seq_baseline,
+    );
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let (warmup, samples) = if smoke() { (1, 9) } else { (3, 20) };
+    let mut set = BenchSet::with_config(Bench::new().warmup(warmup).samples(samples));
+    let rates = stream_rates(&mut set);
+    print!("{}", set.table());
+    if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
+        set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+    if let Ok(path) = std::env::var("EZP_BENCH_JSON") {
+        let mode = if smoke() { "smoke" } else { "full" };
+        write_json(&path, mode, &rates).unwrap();
+        eprintln!("wrote {path}");
+    }
+}

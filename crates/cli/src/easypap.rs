@@ -33,6 +33,10 @@ where
             let k = reg.create(name)?;
             out.push_str(&format!("  {name:<12} variants: {}\n", k.variants().join(", ")));
         }
+        out.push_str("streaming kernels (--stream=N):\n");
+        for k in ezp_stream::stream_registry() {
+            out.push_str(&format!("  {:<12} {}\n", k.name(), k.describe()));
+        }
         return Ok(out);
     }
     let cfg = RunConfig::parse_args(args.iter().map(String::as_str))?;
@@ -47,6 +51,12 @@ where
     // the per-rank reports live on the concrete Life kernel.
     if cfg.kernel == "life" && cfg.variant == "mpi_omp" && cfg.debug_mpi {
         return run_life_mpi_debug(cfg);
+    }
+
+    // `--stream=N`: the streaming frame driver pushes N frames through a
+    // skeleton kernel instead of iterating one image in place
+    if cfg.stream_frames.is_some() {
+        return run_stream(cfg);
     }
 
     let reg = registry();
@@ -135,19 +145,95 @@ where
         }
     }
 
-    observability_tail(&mut out, &cfg, report, perf.as_ref(), &*kernel)?;
+    observability_tail(&mut out, &cfg, report, perf.as_ref(), kernel.stats_counters())?;
+    Ok(out)
+}
+
+/// `--kernel <name> --stream=N`: push N frames through a streaming
+/// skeleton kernel. Farm stages replicate `--farm-width` ways (0 =
+/// one replica per thread) and frames leave the pipeline in
+/// `--stream-mode` order.
+fn run_stream(cfg: RunConfig) -> Result<String> {
+    use ezp_core::error::Error;
+    use ezp_stream::{stream_kernel, stream_registry};
+    let frames = cfg.stream_frames.unwrap_or(0);
+    let kernel = stream_kernel(&cfg.kernel).ok_or_else(|| {
+        let names: Vec<&str> = stream_registry().iter().map(|k| k.name()).collect();
+        Error::Config(format!(
+            "unknown streaming kernel '{}' (available: {})",
+            cfg.kernel,
+            names.join(", ")
+        ))
+    })?;
+    let mut out = String::new();
+    if !cfg.stage_widths.is_empty() {
+        // built-in demos fix their own stage shapes; only the farm
+        // width is tunable from the command line
+        writeln!(
+            out,
+            "note: --stages is ignored for built-in streaming kernels (use --farm-width)"
+        )
+        .unwrap();
+    }
+    let mut pool = ezp_sched::WorkerPool::new(cfg.threads);
+    let farm_width = if cfg.farm_width == 0 { cfg.threads } else { cfg.farm_width };
+    let perf = if cfg.stats.is_some() || cfg.trace_events.is_some() {
+        Some(Arc::new(PerfProbe::new(cfg.threads)))
+    } else {
+        None
+    };
+    ezp_debug!(
+        "easypap",
+        "stream mode: {} frames, farm width {farm_width}, {} emission",
+        frames,
+        cfg.stream_mode
+    );
+    let probe: Arc<dyn Probe> = match &perf {
+        Some(p) => p.clone(),
+        None => Arc::new(NullProbe),
+    };
+    let sw = ezp_core::time::Stopwatch::start();
+    let (outputs, stats) = kernel.run(
+        cfg.dim,
+        frames,
+        cfg.stream_mode,
+        farm_width,
+        &mut pool,
+        &*probe,
+    )?;
+    let bytes: usize = outputs.iter().map(|(_, b)| b.len()).sum();
+    writeln!(
+        out,
+        "{} frames streamed ({bytes} bytes, {} emission, farm width {farm_width}) in {} ms",
+        stats.frames,
+        cfg.stream_mode,
+        sw.elapsed_ms()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "in flight <= {}, reorder depth <= {}, stage occupancy <= {}, {} backpressure stalls",
+        stats.max_frames_in_flight,
+        stats.max_reorder_depth,
+        stats.max_stage_occupancy,
+        stats.backpressure_stalls
+    )
+    .unwrap();
+    observability_tail(&mut out, &cfg, None, perf.as_ref(), Vec::new())?;
     Ok(out)
 }
 
 /// The `--trace-events` file and the `--stats` report, appended after
 /// everything else so scripted consumers can split the report off the
-/// human-readable lines above. Shared by the plain and `--frames` runs.
+/// human-readable lines above. Shared by the plain, `--frames` and
+/// `--stream` runs; `extra_counters` carries kernel-provided counters
+/// (per-worker values) into the `--stats` snapshot.
 fn observability_tail(
     out: &mut String,
     cfg: &RunConfig,
     report: Option<MonitorReport>,
     perf: Option<&Arc<PerfProbe>>,
-    kernel: &dyn ezp_core::Kernel,
+    extra_counters: Vec<(String, Vec<u64>)>,
 ) -> Result<()> {
     let spans = perf.map(|p| p.span_snapshot()).unwrap_or_default();
     if let (Some(path), Some(report)) = (&cfg.trace_events, &report) {
@@ -165,7 +251,7 @@ fn observability_tail(
 
     if let (Some(format), Some(perf)) = (cfg.stats, perf) {
         let mut snapshot = perf.snapshot();
-        for (name, per_worker) in kernel.stats_counters() {
+        for (name, per_worker) in extra_counters {
             snapshot.push(&name, per_worker);
         }
         let unified = UnifiedReport::new(report, snapshot, spans);
@@ -230,7 +316,7 @@ fn run_with_frames(
     )
     .unwrap();
     let report = monitor.map(|m| m.report());
-    observability_tail(&mut out, &cfg, report, perf, &*kernel)?;
+    observability_tail(&mut out, &cfg, report, perf, kernel.stats_counters())?;
     Ok(out)
 }
 
@@ -562,6 +648,84 @@ mod tests {
             assert!(out.contains("\u{2580}"), "half-block glyphs expected");
             assert!(out.contains("\x1b[38;2;"));
         });
+    }
+
+    #[test]
+    fn stream_mode_runs_a_demo_and_reports_counters() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "mandel_zoom",
+                "--stream=8",
+                "--threads",
+                "2",
+                "--farm-width",
+                "2",
+                "--size",
+                "16",
+                "--no-display",
+                "--stats=json",
+            ])
+            .unwrap();
+            assert!(out.contains("8 frames streamed"), "{out}");
+            assert!(out.contains("ordered emission"), "{out}");
+            let json_start = out.find('{').expect("no JSON in output");
+            let j = ezp_core::json::Json::parse(&out[json_start..]).unwrap();
+            let arr = j.get("counters").unwrap().get("counters").unwrap();
+            let find = |name: &str| {
+                arr.as_arr()
+                    .unwrap()
+                    .iter()
+                    .find(|c| c.field::<String>("name").unwrap() == name)
+                    .unwrap_or_else(|| panic!("{name} missing"))
+                    .field::<u64>("total")
+                    .unwrap()
+            };
+            assert_eq!(find("frames_emitted"), 8);
+            assert!(find("frames_in_flight") > 0);
+            assert!(find("stage_occupancy") > 0);
+        });
+    }
+
+    #[test]
+    fn stream_mode_unordered_and_list_section() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "wordcount",
+                "--stream=6",
+                "--stream-mode",
+                "unordered",
+                "--threads",
+                "2",
+                "--size",
+                "8",
+                "--no-display",
+            ])
+            .unwrap();
+            assert!(out.contains("6 frames streamed"), "{out}");
+            assert!(out.contains("unordered emission"), "{out}");
+        });
+        let list = run_easypap(["--list"]).unwrap();
+        assert!(list.contains("streaming kernels"), "{list}");
+        for k in ["mandel_zoom", "frame_diff", "wordcount"] {
+            assert!(list.contains(k), "missing streaming kernel {k} in --list");
+        }
+    }
+
+    #[test]
+    fn stream_mode_rejects_unknown_kernels_and_bad_flags() {
+        // a classic kernel is not a streaming kernel
+        assert!(run_easypap(["--kernel", "mandel", "--stream=4", "--no-display"]).is_err());
+        // streaming flags without --stream are a config error
+        assert!(run_easypap([
+            "--kernel",
+            "mandel_zoom",
+            "--farm-width",
+            "2",
+            "--no-display"
+        ])
+        .is_err());
     }
 
     #[test]

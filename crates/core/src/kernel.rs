@@ -88,6 +88,34 @@ pub enum RuntimeEvent {
         /// Overlapping write or lost update.
         kind: RaceKind,
     },
+    /// A streamed frame became data-ready but could not start its next
+    /// stage because a bounded inter-stage buffer (or a stage's width
+    /// limit) was full — one backpressure stall in an `ezp-stream`
+    /// pipeline.
+    StreamStall,
+    /// A streamed frame left the pipeline's final stage and was handed
+    /// to the output sink.
+    StreamFrameEmitted,
+    /// High-water-mark gauge: `frames` frames were simultaneously in
+    /// flight inside a streaming pipeline. Counter probes fold this
+    /// with `max`, not `add`.
+    StreamInFlight {
+        /// Concurrent frames observed at this instant.
+        frames: usize,
+    },
+    /// High-water-mark gauge: the ordered-emission reorder buffer held
+    /// `depth` completed frames waiting for an earlier frame to finish.
+    StreamReorderDepth {
+        /// Completed-but-unemitted frames at this instant.
+        depth: usize,
+    },
+    /// High-water-mark gauge: some single stage had `depth` frames in
+    /// service at once (its observed occupancy, bounded by the stage
+    /// width).
+    StreamStageOccupancy {
+        /// Frames concurrently inside one stage at this instant.
+        depth: usize,
+    },
 }
 
 /// Instrumentation hooks — the Rust face of the paper's

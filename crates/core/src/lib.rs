@@ -40,7 +40,7 @@ pub use error::{Error, Result};
 pub use grid::{Tile, TileGrid};
 pub use img::{Img2D, ImagePair};
 pub use kernel::{Kernel, KernelCtx};
-pub use params::{RunConfig, Schedule};
+pub use params::{EmitMode, RunConfig, Schedule};
 pub use registry::Registry;
 
 /// Rank of a worker thread (0-based), mirroring `omp_get_thread_num()` in

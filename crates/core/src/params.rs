@@ -134,6 +134,44 @@ impl StatsFormat {
     }
 }
 
+/// Output-ordering mode of a streaming (`--stream=N`) run.
+///
+/// The shared vocabulary between `ezp-stream`'s skeletons and the CLI:
+/// `Ordered` routes completed frames through a reorder buffer so the
+/// sink sees frame ids `0, 1, 2, ...` (latency bounded by the slowest
+/// in-flight frame); `Unordered` hands each frame to the sink the
+/// moment it completes (maximum throughput, sink must key on frame id).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EmitMode {
+    /// Emit frames in frame-id order through a reorder buffer.
+    #[default]
+    Ordered,
+    /// Emit frames as they complete, in schedule-dependent order.
+    Unordered,
+}
+
+impl EmitMode {
+    /// Parses the value of `--stream-mode=<mode>`.
+    pub fn parse(s: &str) -> Result<EmitMode> {
+        match s {
+            "ordered" => Ok(EmitMode::Ordered),
+            "unordered" => Ok(EmitMode::Unordered),
+            other => Err(Error::Config(format!(
+                "--stream-mode: unknown mode `{other}` (expected ordered or unordered)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for EmitMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EmitMode::Ordered => "ordered",
+            EmitMode::Unordered => "unordered",
+        })
+    }
+}
+
 /// Fully parsed run configuration — the Rust face of the `easypap`
 /// command line plus the OpenMP ICVs (`OMP_NUM_THREADS`, `OMP_SCHEDULE`).
 #[derive(Clone, Debug, PartialEq)]
@@ -181,6 +219,18 @@ pub struct RunConfig {
     /// `--trace-events FILE`: write a Chrome Trace Event Format timeline
     /// loadable by `chrome://tracing` / Perfetto.
     pub trace_events: Option<String>,
+    /// `--stream N`: push `N` frames through a streaming skeleton
+    /// instead of iterating one image (`None` = classic mode).
+    pub stream_frames: Option<usize>,
+    /// `--farm-width K`: replication width of farm stages in a
+    /// streaming run (0 = auto: use `threads`).
+    pub farm_width: usize,
+    /// `--stages a,b,c`: explicit per-stage widths overriding the
+    /// streamed kernel's default shape (empty = kernel default).
+    pub stage_widths: Vec<usize>,
+    /// `--stream-mode ordered|unordered`: output ordering of a
+    /// streaming run.
+    pub stream_mode: EmitMode,
 }
 
 impl Default for RunConfig {
@@ -205,6 +255,10 @@ impl Default for RunConfig {
             seed: 42,
             stats: None,
             trace_events: None,
+            stream_frames: None,
+            farm_width: 0,
+            stage_widths: Vec::new(),
+            stream_mode: EmitMode::Ordered,
         }
     }
 }
@@ -308,10 +362,30 @@ impl RunConfig {
                 "--seed" => cfg.seed = parse_num(&need_value(&mut it, arg)?, arg)? as u64,
                 "--stats" => cfg.stats = Some(StatsFormat::Text),
                 "--trace-events" => cfg.trace_events = Some(need_value(&mut it, arg)?),
-                other => match other.strip_prefix("--stats=") {
-                    Some(fmt) => cfg.stats = Some(StatsFormat::parse(fmt)?),
-                    None => return Err(Error::Config(format!("unknown option `{other}`"))),
-                },
+                "--stream" => {
+                    cfg.stream_frames = Some(parse_num(&need_value(&mut it, arg)?, arg)?);
+                }
+                "--farm-width" => {
+                    cfg.farm_width = parse_num(&need_value(&mut it, arg)?, arg)?;
+                }
+                "--stages" => cfg.stage_widths = parse_stages(&need_value(&mut it, arg)?)?,
+                "--stream-mode" => cfg.stream_mode = EmitMode::parse(&need_value(&mut it, arg)?)?,
+                other => {
+                    // `--opt=value` spellings of the options above
+                    if let Some(fmt) = other.strip_prefix("--stats=") {
+                        cfg.stats = Some(StatsFormat::parse(fmt)?);
+                    } else if let Some(n) = other.strip_prefix("--stream=") {
+                        cfg.stream_frames = Some(parse_num(n, "--stream")?);
+                    } else if let Some(k) = other.strip_prefix("--farm-width=") {
+                        cfg.farm_width = parse_num(k, "--farm-width")?;
+                    } else if let Some(list) = other.strip_prefix("--stages=") {
+                        cfg.stage_widths = parse_stages(list)?;
+                    } else if let Some(mode) = other.strip_prefix("--stream-mode=") {
+                        cfg.stream_mode = EmitMode::parse(mode)?;
+                    } else {
+                        return Err(Error::Config(format!("unknown option `{other}`")));
+                    }
+                }
             }
         }
         cfg.validate()?;
@@ -329,7 +403,9 @@ impl RunConfig {
         if self.tile_size == 0 {
             return Err(Error::Config("--tile-size must be > 0".into()));
         }
-        if self.tile_size > self.dim {
+        if self.tile_size > self.dim && self.stream_frames.is_none() {
+            // streaming runs have no tile grid, so the default tile
+            // size must not constrain small streamed frames
             return Err(Error::Config(format!(
                 "--tile-size {} exceeds image dimension {}",
                 self.tile_size, self.dim
@@ -340,6 +416,18 @@ impl RunConfig {
         }
         if self.mpi_ranks == 0 {
             return Err(Error::Config("--mpirun needs at least one rank".into()));
+        }
+        if self.stream_frames == Some(0) {
+            return Err(Error::Config("--stream must be > 0 frames".into()));
+        }
+        if self.stream_frames.is_none()
+            && (self.farm_width != 0
+                || !self.stage_widths.is_empty()
+                || self.stream_mode != EmitMode::Ordered)
+        {
+            return Err(Error::Config(
+                "--farm-width/--stages/--stream-mode require --stream=N".into(),
+            ));
         }
         Ok(())
     }
@@ -353,6 +441,20 @@ impl RunConfig {
 fn parse_num(s: &str, opt: &str) -> Result<usize> {
     s.parse()
         .map_err(|_| Error::Config(format!("option {opt}: `{s}` is not a number")))
+}
+
+/// Parses the `--stages a,b,c` per-stage width list.
+fn parse_stages(spec: &str) -> Result<Vec<usize>> {
+    let widths: Vec<usize> = spec
+        .split(',')
+        .map(|w| parse_num(w.trim(), "--stages"))
+        .collect::<Result<_>>()?;
+    if widths.is_empty() || widths.contains(&0) {
+        return Err(Error::Config(format!(
+            "--stages `{spec}`: stage widths must be >= 1"
+        )));
+    }
+    Ok(widths)
 }
 
 /// Extracts the rank count from an mpirun flag string such as `-np 2`.
@@ -526,6 +628,72 @@ mod tests {
         let plain = RunConfig::parse_args(["--kernel", "life"]).unwrap();
         assert_eq!(plain.stats, None);
         assert_eq!(plain.trace_events, None);
+    }
+
+    #[test]
+    fn streaming_options_parse_in_both_spellings() {
+        let cfg = RunConfig::parse_args([
+            "--kernel",
+            "mandel_zoom",
+            "--stream",
+            "16",
+            "--farm-width",
+            "4",
+            "--stages",
+            "1,4,1",
+            "--stream-mode",
+            "unordered",
+        ])
+        .unwrap();
+        assert_eq!(cfg.stream_frames, Some(16));
+        assert_eq!(cfg.farm_width, 4);
+        assert_eq!(cfg.stage_widths, vec![1, 4, 1]);
+        assert_eq!(cfg.stream_mode, EmitMode::Unordered);
+
+        let cfg = RunConfig::parse_args([
+            "--kernel",
+            "mandel_zoom",
+            "--stream=8",
+            "--farm-width=2",
+            "--stages=2,2",
+            "--stream-mode=ordered",
+        ])
+        .unwrap();
+        assert_eq!(cfg.stream_frames, Some(8));
+        assert_eq!(cfg.farm_width, 2);
+        assert_eq!(cfg.stage_widths, vec![2, 2]);
+        assert_eq!(cfg.stream_mode, EmitMode::Ordered);
+    }
+
+    #[test]
+    fn streaming_options_validate() {
+        // zero frames
+        assert!(RunConfig::parse_args(["--kernel", "x", "--stream=0"]).is_err());
+        // streaming knobs without --stream
+        assert!(RunConfig::parse_args(["--kernel", "x", "--farm-width=2"]).is_err());
+        assert!(RunConfig::parse_args(["--kernel", "x", "--stages=1,2"]).is_err());
+        assert!(RunConfig::parse_args(["--kernel", "x", "--stream-mode=unordered"]).is_err());
+        // malformed values
+        assert!(RunConfig::parse_args(["--kernel", "x", "--stream=abc"]).is_err());
+        assert!(RunConfig::parse_args(["--kernel", "x", "--stream=4", "--stages=1,0"]).is_err());
+        assert!(
+            RunConfig::parse_args(["--kernel", "x", "--stream=4", "--stream-mode=sideways"])
+                .is_err()
+        );
+        // defaults stay classic
+        let plain = RunConfig::parse_args(["--kernel", "x"]).unwrap();
+        assert_eq!(plain.stream_frames, None);
+        assert_eq!(plain.farm_width, 0);
+        assert!(plain.stage_widths.is_empty());
+        assert_eq!(plain.stream_mode, EmitMode::Ordered);
+    }
+
+    #[test]
+    fn emit_mode_round_trips_through_display() {
+        for m in [EmitMode::Ordered, EmitMode::Unordered] {
+            assert_eq!(EmitMode::parse(&m.to_string()).unwrap(), m);
+        }
+        assert!(EmitMode::parse("diagonal").is_err());
     }
 
     #[test]

@@ -93,6 +93,16 @@ impl CounterSet {
         self.add(id, worker, 1);
     }
 
+    /// Raises the counter on `worker`'s slot to at least `value` —
+    /// the high-water-mark fold for gauge-shaped events (occupancy,
+    /// in-flight depth), where `add` would count observations instead
+    /// of tracking the peak.
+    #[inline]
+    pub fn max(&self, id: CounterId, worker: usize, value: u64) {
+        let w = worker.min(self.workers - 1);
+        self.slots[id.0][w].0.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Current value of `id` on `worker`'s slot.
     pub fn worker_value(&self, id: CounterId, worker: usize) -> u64 {
         self.slots[id.0][worker].0.load(Ordering::Relaxed)

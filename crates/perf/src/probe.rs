@@ -44,6 +44,22 @@ pub mod names {
     /// Races flagged by the `ezp-check` shadow-write detector (always
     /// zero outside checked runs).
     pub const SHADOW_RACES: &str = "shadow_races";
+    /// Backpressure stalls in a streaming pipeline: frames that were
+    /// data-ready but waited on a full inter-stage buffer or a stage's
+    /// width limit.
+    pub const BACKPRESSURE_STALLS: &str = "backpressure_stalls";
+    /// Frames handed to the output sink of a streaming run.
+    pub const FRAMES_EMITTED: &str = "frames_emitted";
+    /// High-water mark of frames simultaneously in flight inside a
+    /// streaming pipeline (gauge: folded with `max`, reported on worker
+    /// slot 0, so the total *is* the peak).
+    pub const FRAMES_IN_FLIGHT: &str = "frames_in_flight";
+    /// High-water mark of the ordered-emission reorder buffer (gauge,
+    /// worker slot 0).
+    pub const REORDER_BUFFER_DEPTH: &str = "reorder_buffer_depth";
+    /// High-water mark of any single stage's occupancy (gauge, worker
+    /// slot 0).
+    pub const STAGE_OCCUPANCY: &str = "stage_occupancy";
 }
 
 /// Probe that accumulates runtime counters and iteration spans.
@@ -61,6 +77,11 @@ pub struct PerfProbe {
     pool_parks: CounterId,
     pool_spins: CounterId,
     shadow_races: CounterId,
+    backpressure: CounterId,
+    frames_emitted: CounterId,
+    frames_in_flight: CounterId,
+    reorder_depth: CounterId,
+    stage_occupancy: CounterId,
     /// Start timestamp of the iteration currently in flight.
     iter_start: AtomicU64,
 }
@@ -86,6 +107,11 @@ impl PerfProbe {
         let pool_parks = counters.register(names::POOL_PARKS);
         let pool_spins = counters.register(names::POOL_SPINS);
         let shadow_races = counters.register(names::SHADOW_RACES);
+        let backpressure = counters.register(names::BACKPRESSURE_STALLS);
+        let frames_emitted = counters.register(names::FRAMES_EMITTED);
+        let frames_in_flight = counters.register(names::FRAMES_IN_FLIGHT);
+        let reorder_depth = counters.register(names::REORDER_BUFFER_DEPTH);
+        let stage_occupancy = counters.register(names::STAGE_OCCUPANCY);
         PerfProbe {
             counters,
             spans: SpanSet::new(workers, capacity),
@@ -100,6 +126,11 @@ impl PerfProbe {
             pool_parks,
             pool_spins,
             shadow_races,
+            backpressure,
+            frames_emitted,
+            frames_in_flight,
+            reorder_depth,
+            stage_occupancy,
             iter_start: AtomicU64::new(0),
         }
     }
@@ -158,6 +189,20 @@ impl Probe for PerfProbe {
                 self.counters.add(self.pool_spins, worker, spins);
             }
             RuntimeEvent::ShadowRace { .. } => self.counters.incr(self.shadow_races, worker),
+            RuntimeEvent::StreamStall => self.counters.incr(self.backpressure, worker),
+            RuntimeEvent::StreamFrameEmitted => self.counters.incr(self.frames_emitted, worker),
+            // gauges: fold with max so the counter reports the peak, and
+            // pin to worker slot 0 so the total equals the high-water
+            // mark instead of summing per-worker peaks
+            RuntimeEvent::StreamInFlight { frames } => {
+                self.counters.max(self.frames_in_flight, 0, frames as u64)
+            }
+            RuntimeEvent::StreamReorderDepth { depth } => {
+                self.counters.max(self.reorder_depth, 0, depth as u64)
+            }
+            RuntimeEvent::StreamStageOccupancy { depth } => {
+                self.counters.max(self.stage_occupancy, 0, depth as u64)
+            }
         }
     }
 
@@ -207,7 +252,22 @@ mod tests {
                 spins: 40,
             },
         );
+        probe.runtime_event(0, RuntimeEvent::StreamStall);
+        probe.runtime_event(1, RuntimeEvent::StreamFrameEmitted);
+        probe.runtime_event(1, RuntimeEvent::StreamFrameEmitted);
+        // gauges fold with max: only the peak survives
+        probe.runtime_event(0, RuntimeEvent::StreamInFlight { frames: 3 });
+        probe.runtime_event(1, RuntimeEvent::StreamInFlight { frames: 7 });
+        probe.runtime_event(0, RuntimeEvent::StreamInFlight { frames: 2 });
+        probe.runtime_event(0, RuntimeEvent::StreamReorderDepth { depth: 4 });
+        probe.runtime_event(0, RuntimeEvent::StreamReorderDepth { depth: 1 });
+        probe.runtime_event(1, RuntimeEvent::StreamStageOccupancy { depth: 2 });
         let snap = probe.snapshot();
+        assert_eq!(snap.total(names::BACKPRESSURE_STALLS), 1);
+        assert_eq!(snap.total(names::FRAMES_EMITTED), 2);
+        assert_eq!(snap.total(names::FRAMES_IN_FLIGHT), 7);
+        assert_eq!(snap.total(names::REORDER_BUFFER_DEPTH), 4);
+        assert_eq!(snap.total(names::STAGE_OCCUPANCY), 2);
         assert_eq!(snap.total(names::CHUNKS_DISPENSED), 2);
         assert_eq!(snap.total(names::STEALS_ATTEMPTED), 3);
         assert_eq!(snap.total(names::STEALS_SUCCEEDED), 1);

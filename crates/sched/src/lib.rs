@@ -36,6 +36,7 @@ pub mod img_cell;
 pub mod parallel;
 pub(crate) mod park;
 pub mod pool;
+pub mod skeleton;
 pub mod taskgraph;
 #[cfg(feature = "ezp-check")]
 pub mod vexec;
@@ -47,6 +48,7 @@ pub use parallel::{
     parallel_for_range, parallel_for_range_probed, parallel_for_tiles, parallel_for_tiles_img,
 };
 pub use pool::{PoolSyncStats, WorkerPool};
+pub use skeleton::{PipeShape, PipeStage};
 pub use taskgraph::TaskGraph;
 #[cfg(feature = "ezp-check")]
 pub use vexec::{

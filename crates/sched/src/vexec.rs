@@ -224,6 +224,132 @@ pub fn virtual_deque_taskgraph(
     Ok((order, steals))
 }
 
+/// The outcome of a virtual streaming run ([`virtual_pipeline`] /
+/// [`virtual_farm`]): the substrate's execution order, the frame ids in
+/// emission order, and the reorder-buffer peak the emission mode
+/// implied. Two runs from the same `(strategy kind, seed)` compare
+/// equal — the replay contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VStream {
+    /// `(task, rank)` execution order of the underlying substrate —
+    /// graph nodes for a pipeline, frame ids for a farm.
+    pub order: Vec<(usize, WorkerId)>,
+    /// Frame ids in emission order: `0..frames` in ordered mode,
+    /// completion order otherwise.
+    pub emitted: Vec<usize>,
+    /// Successful steals (deque steals for a pipeline, dispenser steals
+    /// for a farm).
+    pub steals: u64,
+    /// Peak count of completed-but-unemitted frames (always 0 in
+    /// unordered mode, where completion emits immediately).
+    pub max_reorder_depth: usize,
+}
+
+/// Tracks the reorder buffer of an ordered (or pass-through unordered)
+/// emission as frames complete in schedule order.
+struct VReorder {
+    ordered: bool,
+    parked: Vec<bool>,
+    frontier: usize,
+    completed: usize,
+    emitted: Vec<usize>,
+    max_depth: usize,
+}
+
+impl VReorder {
+    fn new(frames: usize, ordered: bool) -> Self {
+        VReorder {
+            ordered,
+            parked: vec![false; frames],
+            frontier: 0,
+            completed: 0,
+            emitted: Vec::with_capacity(frames),
+            max_depth: 0,
+        }
+    }
+
+    fn complete(&mut self, frame: usize) {
+        self.completed += 1;
+        if !self.ordered {
+            self.emitted.push(frame);
+            return;
+        }
+        self.parked[frame] = true;
+        while self.frontier < self.parked.len() && self.parked[self.frontier] {
+            self.emitted.push(self.frontier);
+            self.frontier += 1;
+        }
+        // depth after the frontier advance: in-order arrivals cost 0,
+        // mirroring the engine's accounting
+        self.max_depth = self.max_depth.max(self.completed - self.frontier);
+    }
+}
+
+/// The virtual twin of the streaming pipeline engine
+/// (`ezp_stream::run_pipeline`): compiles `shape` over `frames` frames
+/// to its task graph ([`PipeShape::graph`]) and executes it on the real
+/// deque substrate under `strategy` ([`virtual_deque_taskgraph`]),
+/// modeling the ordered reorder buffer (or unordered pass-through) at
+/// the final stage.
+///
+/// The invariants the `ezp_check` sweeps pin on the result: ordered
+/// emission is exactly `0..frames` (frame `n + 1` never leaves before
+/// `n`), unordered emission is a permutation of it, and the run replays
+/// byte-for-byte from its `(strategy, seed)`.
+pub fn virtual_pipeline(
+    shape: &crate::skeleton::PipeShape,
+    frames: usize,
+    workers: usize,
+    ordered: bool,
+    strategy: &mut dyn Interleave,
+) -> Result<VStream> {
+    let graph = shape.graph(frames);
+    let last = shape.stages() - 1;
+    let mut re = VReorder::new(frames, ordered);
+    let (order, steals) = virtual_deque_taskgraph(&graph, workers, strategy, |t, _| {
+        if shape.stage_of(t) == last {
+            re.complete(shape.frame_of(t));
+        }
+    })?;
+    Ok(VStream {
+        order,
+        emitted: re.emitted,
+        steals,
+        max_reorder_depth: re.max_depth,
+    })
+}
+
+/// The virtual twin of the farm skeleton (`ezp_stream::Farm`): a fresh
+/// [`StealingDispenser`](crate::dispenser::StealingDispenser) generation
+/// over `frames` frames drained by `width` virtual lanes under
+/// `strategy`, with the same reorder model at the sink as
+/// [`virtual_pipeline`]. Build `strategy` for `width` workers.
+pub fn virtual_farm(
+    frames: usize,
+    width: usize,
+    ordered: bool,
+    strategy: &mut dyn Interleave,
+) -> VStream {
+    let width = width.max(1);
+    let disp = crate::dispenser::StealingDispenser::new(frames, width, 1);
+    let mut re = VReorder::new(frames, ordered);
+    let mut order = Vec::with_capacity(frames);
+    virtual_drain(&disp, width, strategy, |f, _, rank| {
+        order.push((f, rank));
+        re.complete(f);
+    });
+    let steals = disp
+        .steal_stats()
+        .map(|s| s.iter().map(|r| r.succeeded).sum())
+        .unwrap_or(0);
+    VStream {
+        order,
+        emitted: re.emitted,
+        steals,
+        max_reorder_depth: re.max_depth,
+    }
+}
+
 /// What a worker model is doing inside [`virtual_region_protocol`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum WPhase {
@@ -650,6 +776,49 @@ mod tests {
             virtual_region_protocol(5, 1, |seq, _| seq % 2 == 1, &mut s),
             vec![1, 0, 1, 0, 1]
         );
+    }
+
+    #[test]
+    fn virtual_pipeline_ordered_emits_in_frame_order() {
+        use crate::skeleton::{PipeShape, PipeStage};
+        let shape = PipeShape::new(vec![
+            PipeStage::farm(3),
+            PipeStage::serial(),
+        ]);
+        for seed in 0..8u64 {
+            let mut s = RandomWalk::seeded(seed);
+            let v = virtual_pipeline(&shape, 20, 3, true, &mut s).unwrap();
+            assert_eq!(v.emitted, (0..20).collect::<Vec<_>>(), "seed {seed}");
+            assert_eq!(v.order.len(), 20 * 2);
+        }
+    }
+
+    #[test]
+    fn virtual_pipeline_unordered_is_a_permutation() {
+        use crate::skeleton::{PipeShape, PipeStage};
+        let shape = PipeShape::new(vec![PipeStage::farm(4), PipeStage::farm(2)]);
+        let mut s = RandomWalk::seeded(5);
+        let v = virtual_pipeline(&shape, 30, 4, false, &mut s).unwrap();
+        let mut sorted = v.emitted.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<_>>());
+        assert_eq!(v.max_reorder_depth, 0, "unordered mode has no reorder buffer");
+    }
+
+    #[test]
+    fn virtual_farm_covers_and_replays() {
+        for ordered in [true, false] {
+            let mut s = RandomWalk::seeded(11);
+            let v = virtual_farm(33, 4, ordered, &mut s);
+            let mut sorted = v.emitted.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..33).collect::<Vec<_>>());
+            if ordered {
+                assert_eq!(v.emitted, sorted);
+            }
+            let mut s2 = RandomWalk::seeded(11);
+            assert_eq!(virtual_farm(33, 4, ordered, &mut s2), v, "no replay");
+        }
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! The parallel streaming engine: frames through a [`Pipeline`] on the
+//! worker pool's task-graph executor.
+//!
+//! The engine never schedules anything itself. It processes the stream
+//! in windows of up to [`WINDOW`] frames; each window's
+//! `(frame, stage)` units become a task graph via the pipeline's
+//! [`PipeShape`](ezp_sched::PipeShape) — data, width and capacity edges
+//! encode frame flow, stage replication and bounded buffers — and
+//! [`TaskGraph::run_probed`](ezp_sched::TaskGraph::run_probed) executes
+//! it on the Chase-Lev deques with the ordinary steal path. The region
+//! barrier between windows is what lets a serial stage's cross-window
+//! ordering hold with no extra machinery.
+//!
+//! Frame payloads travel *in place*: one slot per in-window frame,
+//! handed from stage to stage. Every hand-off is ordered by a graph
+//! edge (happens-before), so the slot locks are uncontended by
+//! construction — they exist to keep the crate `#![deny(unsafe_code)]`,
+//! not to synchronize.
+//!
+//! Observability: the engine classifies *why* a unit became runnable.
+//! It keeps its own copy of the graph's indegrees; when the release
+//! that makes a node ready arrives over a **non-data** edge (width or
+//! capacity), the frame was data-ready but waiting on buffer space —
+//! one backpressure stall. Gauges (`frames_in_flight`,
+//! `reorder_buffer_depth`, `stage_occupancy`) are high-water marks,
+//! reported through [`RuntimeEvent`]s and folded with `max` by the perf
+//! probe (worker slot 0, so the reported total *is* the peak).
+
+use crate::pipeline::Pipeline;
+use ezp_core::error::Result;
+use ezp_core::kernel::{Probe, RuntimeEvent};
+use ezp_core::EmitMode;
+use ezp_sched::WorkerPool;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum frames per scheduling window (and so an upper bound on
+/// frames in flight, on top of the per-stage width/capacity bounds).
+pub const WINDOW: usize = 64;
+
+/// What a streaming run observed about itself — the same quantities the
+/// perf probe accumulates, returned directly so callers (benches, the
+/// CLI summary line, tests) don't need a probe to see them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames pushed through the pipeline.
+    pub frames: usize,
+    /// Times a frame was data-ready but waited on a width/capacity
+    /// bound (its readying release arrived over a non-data edge).
+    pub backpressure_stalls: u64,
+    /// High-water mark of frames simultaneously in flight (sourced but
+    /// not yet handed to the sink).
+    pub max_frames_in_flight: usize,
+    /// High-water mark of completed-but-unemitted frames in the ordered
+    /// reorder buffer (always 0 for unordered runs).
+    pub max_reorder_depth: usize,
+    /// High-water mark of any single stage's concurrent occupancy.
+    pub max_stage_occupancy: usize,
+}
+
+/// Reorder/emission state shared by final-stage units, behind one lock.
+struct SinkState<'a, T> {
+    sink: &'a mut (dyn FnMut(usize, T) + Send),
+    /// Next frame id (window-local) the ordered mode may emit.
+    frontier: usize,
+    /// Final-stage completions so far in this window.
+    completed: usize,
+    /// Parked payloads of completed frames awaiting the frontier.
+    parked: Vec<Option<T>>,
+    /// Peak of `completed - frontier` after each emission round.
+    max_reorder_depth: usize,
+}
+
+/// Pushes `frames` frames through `pipe` on `pool`, emitting through
+/// `sink` in `mode` order. `source` builds the payload of a frame when
+/// the pipeline admits it (pull-based admission: backpressure reaches
+/// all the way to frame creation). The sink receives *global* frame
+/// ids; in [`EmitMode::Unordered`] its call order is
+/// schedule-dependent, in [`EmitMode::Ordered`] it is frame order.
+pub fn run_pipeline<T: Send>(
+    pipe: &Pipeline<T>,
+    frames: usize,
+    mode: EmitMode,
+    pool: &mut WorkerPool,
+    probe: &dyn Probe,
+    source: impl Fn(usize) -> T + Sync,
+    mut sink: impl FnMut(usize, T) + Send,
+) -> Result<StreamStats> {
+    assert!(pipe.stages() > 0, "a pipeline needs at least one stage");
+    let shape = pipe.shape();
+    let stages = shape.stages();
+    let want_events = probe.wants_runtime_events();
+
+    let stalls = AtomicU64::new(0);
+    let in_flight = AtomicUsize::new(0);
+    let max_in_flight = AtomicUsize::new(0);
+    let occupancy: Vec<AtomicUsize> = (0..stages).map(|_| AtomicUsize::new(0)).collect();
+    let max_occupancy = AtomicUsize::new(0);
+    let mut max_reorder_depth = 0usize;
+
+    let mut base = 0usize;
+    while base < frames {
+        let wlen = WINDOW.min(frames - base);
+        let graph = shape.graph(wlen);
+        // Engine-side copy of the indegrees, to classify the release
+        // that makes each node runnable (data vs backpressure edge).
+        let remaining: Vec<AtomicUsize> =
+            (0..graph.len()).map(|t| AtomicUsize::new(graph.indegree(t))).collect();
+        // One payload slot per in-window frame; hand-offs are ordered
+        // by graph edges, so these locks are uncontended.
+        let slots: Vec<Mutex<Option<T>>> = (0..wlen).map(|_| Mutex::new(None)).collect();
+        let sink_state = Mutex::new(SinkState {
+            sink: &mut sink,
+            frontier: 0,
+            completed: 0,
+            parked: (0..wlen).map(|_| None).collect(),
+            max_reorder_depth: 0,
+        });
+
+        graph.run_probed(pool, probe, |t, worker| {
+            let f = shape.frame_of(t);
+            let s = shape.stage_of(t);
+
+            // acquire the payload (admit the frame on its first stage)
+            let mut payload = if s == 0 {
+                let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                max_in_flight.fetch_max(now, Ordering::Relaxed);
+                if want_events {
+                    probe.runtime_event(worker, RuntimeEvent::StreamInFlight { frames: now });
+                }
+                source(base + f)
+            } else {
+                slots[f].lock().unwrap().take().expect("payload lost between stages")
+            };
+
+            let occ = occupancy[s].fetch_add(1, Ordering::Relaxed) + 1;
+            max_occupancy.fetch_max(occ, Ordering::Relaxed);
+            if want_events {
+                probe.runtime_event(worker, RuntimeEvent::StreamStageOccupancy { depth: occ });
+            }
+            pipe.apply(s, base + f, &mut payload);
+            occupancy[s].fetch_sub(1, Ordering::Relaxed);
+
+            if s + 1 == stages {
+                // final stage: emit (or park, in ordered mode)
+                let mut st = sink_state.lock().unwrap();
+                st.completed += 1;
+                match mode {
+                    EmitMode::Unordered => {
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                        (st.sink)(base + f, payload);
+                        if want_events {
+                            probe.runtime_event(worker, RuntimeEvent::StreamFrameEmitted);
+                        }
+                    }
+                    EmitMode::Ordered => {
+                        st.parked[f] = Some(payload);
+                        while st.frontier < wlen {
+                            let at = st.frontier;
+                            match st.parked[at].take() {
+                                Some(p) => {
+                                    let id = base + st.frontier;
+                                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                                    (st.sink)(id, p);
+                                    st.frontier += 1;
+                                    if want_events {
+                                        probe.runtime_event(
+                                            worker,
+                                            RuntimeEvent::StreamFrameEmitted,
+                                        );
+                                    }
+                                }
+                                None => break,
+                            }
+                        }
+                        let depth = st.completed - st.frontier;
+                        st.max_reorder_depth = st.max_reorder_depth.max(depth);
+                        if want_events {
+                            probe.runtime_event(
+                                worker,
+                                RuntimeEvent::StreamReorderDepth { depth },
+                            );
+                        }
+                    }
+                }
+            } else {
+                *slots[f].lock().unwrap() = Some(payload);
+            }
+
+            // classify the releases this completion performs: a node
+            // made runnable by a non-data edge was stalled on
+            // backpressure (width or capacity), not on its input
+            for &d in graph.dependents(t) {
+                if remaining[d].fetch_sub(1, Ordering::AcqRel) == 1
+                    && !shape.is_data_edge(t, d)
+                {
+                    stalls.fetch_add(1, Ordering::Relaxed);
+                    if want_events {
+                        probe.runtime_event(worker, RuntimeEvent::StreamStall);
+                    }
+                }
+            }
+        })?;
+
+        let st = sink_state.into_inner().unwrap();
+        debug_assert_eq!(st.frontier_or_completed(mode), wlen);
+        max_reorder_depth = max_reorder_depth.max(st.max_reorder_depth);
+        base += wlen;
+    }
+
+    Ok(StreamStats {
+        frames,
+        backpressure_stalls: stalls.into_inner(),
+        max_frames_in_flight: max_in_flight.into_inner(),
+        max_reorder_depth,
+        max_stage_occupancy: max_occupancy.into_inner(),
+    })
+}
+
+impl<T> SinkState<'_, T> {
+    /// Window-completion figure checked by the engine's debug assert:
+    /// ordered mode must have advanced the frontier through the whole
+    /// window; unordered must have completed every frame.
+    fn frontier_or_completed(&self, mode: EmitMode) -> usize {
+        match mode {
+            EmitMode::Ordered => self.frontier,
+            EmitMode::Unordered => self.completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezp_core::kernel::NullProbe;
+    use ezp_perf::{names, PerfProbe};
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::vec_of;
+
+    fn square_pipe(width: usize) -> Pipeline<u64> {
+        Pipeline::new()
+            .farm_stage("square", width, |_, x: &mut u64| *x = *x * *x)
+            .stage("offset", |_, x| *x += 3)
+    }
+
+    #[test]
+    fn ordered_run_matches_seq_in_order() {
+        let pipe = square_pipe(4);
+        let mut expect = Vec::new();
+        pipe.run_seq(100, |f| f as u64, |f, x| expect.push((f, x)));
+        let mut pool = WorkerPool::new(4);
+        let mut got = Vec::new();
+        let stats = run_pipeline(
+            &pipe,
+            100,
+            EmitMode::Ordered,
+            &mut pool,
+            &NullProbe,
+            |f| f as u64,
+            |f, x| got.push((f, x)),
+        )
+        .unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(stats.frames, 100);
+        assert!(stats.max_frames_in_flight >= 1);
+    }
+
+    #[test]
+    fn unordered_run_is_a_permutation_of_seq() {
+        let pipe = square_pipe(4);
+        let mut expect = Vec::new();
+        pipe.run_seq(100, |f| f as u64, |f, x| expect.push((f, x)));
+        let mut pool = WorkerPool::new(4);
+        let mut got = Vec::new();
+        run_pipeline(
+            &pipe,
+            100,
+            EmitMode::Unordered,
+            &mut pool,
+            &NullProbe,
+            |f| f as u64,
+            |f, x| got.push((f, x)),
+        )
+        .unwrap();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn serial_stateful_stage_sees_frames_in_order_in_parallel() {
+        // the frame-differencing pattern: a width-1 stage holding the
+        // previous frame. Graph edges order its invocations, so the
+        // parallel run must match seq exactly.
+        let build = || {
+            let prev = Mutex::new(0i64);
+            Pipeline::new()
+                .farm_stage("gen", 4, |f, x: &mut i64| *x = (f * f) as i64)
+                .stage("diff", move |_, x| {
+                    let mut p = prev.lock().unwrap();
+                    let cur = *x;
+                    *x -= *p;
+                    *p = cur;
+                })
+        };
+        let mut expect = Vec::new();
+        build().run_seq(200, |_| 0, |f, x| expect.push((f, x)));
+        let mut pool = WorkerPool::new(4);
+        let mut got = Vec::new();
+        run_pipeline(
+            &build(),
+            200,
+            EmitMode::Ordered,
+            &mut pool,
+            &NullProbe,
+            |_| 0,
+            |f, x| got.push((f, x)),
+        )
+        .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multi_window_streams_work() {
+        // more frames than WINDOW: exercises the window barrier and the
+        // per-window reorder state reset
+        let pipe = square_pipe(2);
+        let frames = WINDOW * 2 + 17;
+        let mut expect = Vec::new();
+        pipe.run_seq(frames, |f| f as u64, |f, x| expect.push((f, x)));
+        let mut pool = WorkerPool::new(2);
+        let mut got = Vec::new();
+        let stats = run_pipeline(
+            &pipe,
+            frames,
+            EmitMode::Ordered,
+            &mut pool,
+            &NullProbe,
+            |f| f as u64,
+            |f, x| got.push((f, x)),
+        )
+        .unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(stats.frames, frames);
+    }
+
+    #[test]
+    fn single_stage_pipeline_streams() {
+        let pipe = Pipeline::new().farm_stage("id", 2, |_, _: &mut u32| {});
+        let mut pool = WorkerPool::new(2);
+        let mut got = Vec::new();
+        run_pipeline(
+            &pipe,
+            10,
+            EmitMode::Ordered,
+            &mut pool,
+            &NullProbe,
+            |f| f as u32,
+            |f, x| got.push((f, x)),
+        )
+        .unwrap();
+        assert_eq!(got, (0..10).map(|f| (f, f as u32)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_frames_is_a_no_op() {
+        let pipe = square_pipe(2);
+        let mut pool = WorkerPool::new(2);
+        let stats = run_pipeline(
+            &pipe,
+            0,
+            EmitMode::Ordered,
+            &mut pool,
+            &NullProbe,
+            |f| f as u64,
+            |_, _| panic!("sink called for empty stream"),
+        )
+        .unwrap();
+        assert_eq!(stats, StreamStats::default());
+    }
+
+    #[test]
+    fn counters_land_in_the_perf_probe() {
+        // a deliberately tight pipeline: capacity 1 and a serial tail
+        // stage force backpressure with several workers
+        let pipe = Pipeline::new()
+            .farm_stage("work", 4, |_, x: &mut u64| {
+                *x = (0..200).fold(*x, |a, i| a.wrapping_mul(31).wrapping_add(i))
+            })
+            .stage("tail", |_, _| {})
+            .capacity(1);
+        let probe = PerfProbe::new(4);
+        let mut pool = WorkerPool::new(4);
+        let stats = run_pipeline(
+            &pipe,
+            64,
+            EmitMode::Ordered,
+            &mut pool,
+            &probe,
+            |f| f as u64,
+            |_, _| {},
+        )
+        .unwrap();
+        let snap = probe.snapshot();
+        assert_eq!(snap.total(names::FRAMES_EMITTED), 64);
+        assert_eq!(
+            snap.total(names::FRAMES_IN_FLIGHT) as usize,
+            stats.max_frames_in_flight
+        );
+        assert_eq!(
+            snap.total(names::REORDER_BUFFER_DEPTH) as usize,
+            stats.max_reorder_depth
+        );
+        assert_eq!(
+            snap.total(names::STAGE_OCCUPANCY) as usize,
+            stats.max_stage_occupancy
+        );
+        assert_eq!(snap.total(names::BACKPRESSURE_STALLS), stats.backpressure_stalls);
+        assert!(stats.max_stage_occupancy >= 1);
+    }
+
+    ezp_proptest! {
+        #![cases(8)]
+
+        // Same permutation property at the pipeline level, with
+        // arbitrary *per-stage* latencies: a farm head and a farm tail
+        // whose spin budgets vary per frame.
+        fn prop_pipeline_unordered_is_a_permutation_of_ordered(
+            latencies in vec_of((0usize..200, 0usize..200), 1..24),
+            width in 1usize..4,
+        ) {
+            let frames = latencies.len();
+            let spin = |budget: usize, x: &mut u64| {
+                for i in 0..budget {
+                    *x = std::hint::black_box(x.wrapping_mul(31).wrapping_add(i as u64));
+                }
+            };
+            let build = |lat: Vec<(usize, usize)>| {
+                let tail = lat.clone();
+                Pipeline::new()
+                    .farm_stage("head", width, move |f, x: &mut u64| {
+                        *x = f as u64;
+                        spin(lat[f].0, x);
+                    })
+                    .farm_stage("tail", width, move |f, x: &mut u64| spin(tail[f].1, x))
+            };
+            let mut pool = WorkerPool::new(3);
+            let mut ordered = Vec::new();
+            run_pipeline(
+                &build(latencies.clone()),
+                frames,
+                EmitMode::Ordered,
+                &mut pool,
+                &NullProbe,
+                |_| 0,
+                |f, x| ordered.push((f, x)),
+            )
+            .unwrap();
+            let mut unordered = Vec::new();
+            run_pipeline(
+                &build(latencies.clone()),
+                frames,
+                EmitMode::Unordered,
+                &mut pool,
+                &NullProbe,
+                |_| 0,
+                |f, x| unordered.push((f, x)),
+            )
+            .unwrap();
+            unordered.sort_unstable();
+            assert_eq!(unordered, ordered, "width {width}: not a permutation");
+        }
+    }
+
+    #[test]
+    fn backpressure_stalls_appear_under_a_tight_buffer() {
+        // width 1 + capacity 1 on the tail of a wide head: upstream
+        // frames are data-ready long before the buffer drains, so some
+        // stalls must be observed with real parallelism
+        let pipe = Pipeline::new()
+            .farm_stage("head", 4, |_, x: &mut u64| {
+                *x = (0..500).fold(*x, |a, i| a.wrapping_mul(31).wrapping_add(i))
+            })
+            .stage("tail", |_, _| {})
+            .capacity(1);
+        let mut pool = WorkerPool::new(4);
+        let stats = run_pipeline(
+            &pipe,
+            WINDOW,
+            EmitMode::Ordered,
+            &mut pool,
+            &NullProbe,
+            |f| f as u64,
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(
+            stats.backpressure_stalls > 0,
+            "tight buffer produced no stalls: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! The [`Farm`] skeleton: one replicated stage over a frame batch.
+//!
+//! A farm is the degenerate pipeline — a single stage replicated
+//! `width` times — but unlike [`run_pipeline`](crate::run_pipeline) it
+//! runs straight on a [`StealingDispenser`]: frames are distributed
+//! statically across the farm's workers, and idle workers steal from
+//! loaded ones (`nonmonotonic:dynamic`, the policy the paper singles
+//! out for imbalance correction — exactly the case of frames with
+//! wildly different costs).
+//!
+//! One farm owns one dispenser for its whole life and **re-arms** it
+//! per [`process`](Farm::process) call — the production consumer of the
+//! dispenser-generations contract ([`StealingDispenser::rearm`]): every
+//! batch is a new generation, and stale private remainders from an
+//! abandoned batch must never leak grants into the next.
+
+use ezp_core::EmitMode;
+use ezp_sched::dispenser::{Dispenser, StealStats, StealingDispenser};
+use ezp_sched::WorkerPool;
+use std::sync::Mutex;
+
+/// A replicated stage fanned out over the stealing dispenser.
+pub struct Farm {
+    width: usize,
+    disp: StealingDispenser,
+}
+
+impl Farm {
+    /// A farm of `width` replicas (clamped to ≥ 1).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        Farm {
+            width,
+            // armed per process() call; starts empty
+            disp: StealingDispenser::new(0, width, 1),
+        }
+    }
+
+    /// The replication width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Cumulative steal counters over every batch processed so far.
+    pub fn steal_stats(&self) -> Vec<StealStats> {
+        self.disp.steal_stats().unwrap_or_default()
+    }
+
+    /// Processes a batch of `frames` frames: `work` maps a frame id to
+    /// its output (pure — replicas run concurrently), `sink` receives
+    /// `(frame, output)` in frame order ([`EmitMode::Ordered`]) or
+    /// completion order ([`EmitMode::Unordered`]).
+    ///
+    /// At most `min(width, pool.threads())` workers execute replicas;
+    /// when the pool is smaller than the farm, the stealing dispenser
+    /// drains the excess ranks' static shares through the steal path.
+    pub fn process<T: Send>(
+        &mut self,
+        pool: &mut WorkerPool,
+        frames: usize,
+        mode: EmitMode,
+        work: impl Fn(usize) -> T + Sync,
+        mut sink: impl FnMut(usize, T) + Send,
+    ) {
+        // a new consumer generation for this batch (clears any stale
+        // private remainders — see the Dispenser generations contract)
+        self.disp.rearm(frames);
+        match mode {
+            EmitMode::Unordered => {
+                let sink = Mutex::new(&mut sink);
+                let disp = &self.disp;
+                let work = &work;
+                pool.run_limited(self.width, |rank| {
+                    while let Some((start, len)) = disp.next(rank) {
+                        for f in start..start + len {
+                            let out = work(f);
+                            (sink.lock().unwrap())(f, out);
+                        }
+                    }
+                });
+            }
+            EmitMode::Ordered => {
+                // reorder buffer: park completions, advance a frontier
+                struct Reorder<'a, T> {
+                    sink: &'a mut (dyn FnMut(usize, T) + Send),
+                    parked: Vec<Option<T>>,
+                    frontier: usize,
+                }
+                let state = Mutex::new(Reorder {
+                    sink: &mut sink,
+                    parked: (0..frames).map(|_| None).collect(),
+                    frontier: 0,
+                });
+                let disp = &self.disp;
+                let work = &work;
+                pool.run_limited(self.width, |rank| {
+                    while let Some((start, len)) = disp.next(rank) {
+                        for f in start..start + len {
+                            let out = work(f);
+                            let mut st = state.lock().unwrap();
+                            st.parked[f] = Some(out);
+                            while st.frontier < frames {
+                                let at = st.frontier;
+                                match st.parked[at].take() {
+                                    Some(p) => {
+                                        let id = st.frontier;
+                                        (st.sink)(id, p);
+                                        st.frontier += 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                        }
+                    }
+                });
+                debug_assert_eq!(state.into_inner().unwrap().frontier, frames);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::vec_of;
+
+    #[test]
+    fn ordered_farm_emits_in_frame_order() {
+        let mut pool = WorkerPool::new(4);
+        let mut farm = Farm::new(4);
+        let mut got = Vec::new();
+        farm.process(
+            &mut pool,
+            100,
+            EmitMode::Ordered,
+            |f| f * f,
+            |f, x| got.push((f, x)),
+        );
+        assert_eq!(got, (0..100).map(|f| (f, f * f)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unordered_farm_is_a_permutation() {
+        let mut pool = WorkerPool::new(4);
+        let mut farm = Farm::new(4);
+        let mut got = Vec::new();
+        farm.process(
+            &mut pool,
+            100,
+            EmitMode::Unordered,
+            |f| f * 3,
+            |f, x| got.push((f, x)),
+        );
+        got.sort_unstable();
+        assert_eq!(got, (0..100).map(|f| (f, f * 3)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn farm_wider_than_the_pool_still_covers_every_frame() {
+        // pool of 2, farm of 8: ranks 2..8 never run, so their static
+        // shares are only reachable through the steal path
+        let mut pool = WorkerPool::new(2);
+        let mut farm = Farm::new(8);
+        let mut got = Vec::new();
+        farm.process(
+            &mut pool,
+            64,
+            EmitMode::Ordered,
+            |f| f,
+            |_, x| got.push(x),
+        );
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        let stats = farm.steal_stats();
+        assert!(
+            stats.iter().map(|s| s.succeeded).sum::<u64>() > 0,
+            "undersized pool must reach idle ranks' shares by stealing"
+        );
+    }
+
+    #[test]
+    fn farm_streams_batch_after_batch() {
+        // the streaming pattern: one farm, many batches, each a fresh
+        // dispenser generation
+        let mut pool = WorkerPool::new(3);
+        let mut farm = Farm::new(3);
+        for batch in 0..10usize {
+            let n = 20 + batch;
+            let mut got = Vec::new();
+            farm.process(
+                &mut pool,
+                n,
+                EmitMode::Ordered,
+                |f| f + batch,
+                |_, x| got.push(x),
+            );
+            assert_eq!(got, (batch..n + batch).collect::<Vec<_>>());
+        }
+    }
+
+    ezp_proptest! {
+        #![cases(12)]
+
+        // Unordered output is a permutation of Ordered output whatever
+        // the per-frame latencies: arbitrary spin budgets skew which
+        // replica finishes first, but the multiset of (frame, value)
+        // pairs must be identical.
+        fn prop_unordered_is_a_permutation_of_ordered(
+            latencies in vec_of(0usize..400, 1..40),
+            width in 1usize..5,
+        ) {
+            let frames = latencies.len();
+            let work = |f: usize| {
+                let mut x = f as u64;
+                for i in 0..latencies[f] {
+                    x = std::hint::black_box(x.wrapping_mul(31).wrapping_add(i as u64));
+                }
+                (f as u64) << 16 | (x & 0xFFFF)
+            };
+            let mut pool = WorkerPool::new(3);
+            let mut ordered = Vec::new();
+            Farm::new(width).process(&mut pool, frames, EmitMode::Ordered, work, |f, x| {
+                ordered.push((f, x));
+            });
+            let mut unordered = Vec::new();
+            Farm::new(width).process(&mut pool, frames, EmitMode::Unordered, work, |f, x| {
+                unordered.push((f, x));
+            });
+            unordered.sort_unstable();
+            assert_eq!(unordered, ordered, "width {width}: not a permutation");
+        }
+    }
+
+    #[test]
+    fn zero_frames_batch_is_a_no_op() {
+        let mut pool = WorkerPool::new(2);
+        let mut farm = Farm::new(2);
+        farm.process(
+            &mut pool,
+            0,
+            EmitMode::Ordered,
+            |f| f,
+            |_, _: usize| panic!("sink called for empty batch"),
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! The [`map_reduce`] skeleton: schedule-independent parallel folds.
+//!
+//! The determinism problem with parallel reduction is that the combine
+//! order follows the schedule: whichever worker finishes first merges
+//! first, so a non-associative (or floating-point) combine gives a
+//! different answer every run. This skeleton fixes the *shape* of the
+//! computation instead of the schedule:
+//!
+//! 1. the index space is cut into fixed-size **leaf blocks**; any
+//!    scheduling policy distributes the leaves over workers, and each
+//!    leaf is folded left-to-right in index order into its own slot;
+//! 2. the leaf results are merged by a **fixed pairwise tree** —
+//!    neighbours at distance 1, then 2, then 4... — whose structure
+//!    depends only on the leaf count.
+//!
+//! Both the leaf folds and the tree are fully determined by `(n, leaf)`,
+//! so the result is byte-identical for every schedule, worker count and
+//! interleaving — the property `ezp_proptest!` pins with a
+//! deliberately non-associative combine.
+
+use ezp_core::Schedule;
+use ezp_sched::dispenser::dispenser_for;
+use ezp_sched::WorkerPool;
+use std::sync::Mutex;
+
+/// Folds `map(0..n)` with `combine`, leaves of `leaf` indices, on
+/// `pool` under `schedule`. Returns `None` for an empty index space.
+///
+/// The combine tree is applied to leaf results in leaf order with a
+/// fixed pairwise structure, so for a given `(n, leaf)` the result does
+/// not depend on the schedule, the worker count, or the interleaving —
+/// only associativity up to that fixed tree is assumed (i.e. none).
+/// The single-leaf case (`leaf >= n`) *is* the sequential left fold.
+pub fn map_reduce<A: Send>(
+    pool: &mut WorkerPool,
+    n: usize,
+    leaf: usize,
+    schedule: Schedule,
+    map: impl Fn(usize) -> A + Sync,
+    combine: impl Fn(A, A) -> A + Sync,
+) -> Option<A> {
+    if n == 0 {
+        return None;
+    }
+    let leaf = leaf.max(1);
+    let leaves = n.div_ceil(leaf);
+    let slots: Vec<Mutex<Option<A>>> = (0..leaves).map(|_| Mutex::new(None)).collect();
+    let disp = dispenser_for(schedule, leaves, pool.threads());
+
+    {
+        let disp = &*disp;
+        let slots = &slots;
+        let map = &map;
+        let combine = &combine;
+        pool.run(|rank| {
+            while let Some((start, len)) = disp.next(rank) {
+                for li in start..start + len {
+                    // leaf fold, strictly in index order
+                    let lo = li * leaf;
+                    let hi = n.min(lo + leaf);
+                    let mut acc = map(lo);
+                    for i in lo + 1..hi {
+                        acc = combine(acc, map(i));
+                    }
+                    *slots[li].lock().unwrap() = Some(acc);
+                }
+            }
+        });
+    }
+
+    // fixed pairwise tree over the leaf results: distance 1, 2, 4, ...
+    let mut partials: Vec<Option<A>> = slots
+        .into_iter()
+        .map(|s| Some(s.into_inner().unwrap().expect("leaf not folded")))
+        .collect();
+    let mut stride = 1;
+    while stride < leaves {
+        let mut i = 0;
+        while i + stride < leaves {
+            let right = partials[i + stride].take().expect("tree node consumed twice");
+            let left = partials[i].take().expect("tree node consumed twice");
+            partials[i] = Some(combine(left, right));
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    partials[0].take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezp_testkit::ezp_proptest;
+    use ezp_testkit::prop::any_u64;
+
+    /// A deliberately non-associative, non-commutative combine: the
+    /// result encodes the exact merge tree, so any schedule-dependent
+    /// reordering changes the value.
+    fn chain(a: u64, b: u64) -> u64 {
+        a.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13) ^ b
+    }
+
+    /// The reference: fold the same fixed tree sequentially.
+    fn tree_reference(n: usize, leaf: usize) -> Option<u64> {
+        let mut pool = WorkerPool::new(1);
+        map_reduce(&mut pool, n, leaf, Schedule::Static, |i| i as u64, chain)
+    }
+
+    #[test]
+    fn empty_space_returns_none() {
+        let mut pool = WorkerPool::new(2);
+        assert_eq!(
+            map_reduce(&mut pool, 0, 4, Schedule::Static, |i| i as u64, chain),
+            None
+        );
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let mut pool = WorkerPool::new(4);
+        let got = map_reduce(
+            &mut pool,
+            1000,
+            16,
+            Schedule::Dynamic(1),
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(got, Some((0..1000u64).sum()));
+    }
+
+    #[test]
+    fn single_leaf_is_the_sequential_left_fold() {
+        let mut pool = WorkerPool::new(4);
+        let got = map_reduce(&mut pool, 37, 64, Schedule::Guided(1), |i| i as u64, chain);
+        let mut acc = 0u64;
+        for i in 1..37 {
+            acc = chain(acc, i as u64);
+        }
+        assert_eq!(got, Some(acc));
+    }
+
+    ezp_proptest! {
+        #![cases(24)]
+
+        // The determinism contract as a property: for any space, leaf
+        // size, worker count, schedule and seed-derived salt, the fold
+        // (with a combine that encodes its merge tree bit-for-bit) is
+        // byte-identical to the 1-worker static reference. Same
+        // `EZP_TEST_SEED` → same cases → same fold results.
+        fn prop_mapreduce_is_schedule_independent(
+            n in 1usize..400,
+            leaf in 1usize..33,
+            workers in 1usize..5,
+            which in 0usize..5,
+            salt in any_u64(),
+        ) {
+            let sched = match which {
+                0 => Schedule::Static,
+                1 => Schedule::StaticChunk(3),
+                2 => Schedule::Dynamic(1),
+                3 => Schedule::Guided(1),
+                _ => Schedule::NonmonotonicDynamic(1),
+            };
+            let map = |i: usize| (i as u64) ^ salt;
+            let mut reference = WorkerPool::new(1);
+            let expect = map_reduce(&mut reference, n, leaf, Schedule::Static, map, chain);
+            let mut pool = WorkerPool::new(workers);
+            let got = map_reduce(&mut pool, n, leaf, sched, map, chain);
+            assert_eq!(
+                got, expect,
+                "n={n} leaf={leaf} workers={workers} {sched:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_schedule_and_worker_independent() {
+        // the determinism contract with a combine that encodes its tree
+        for (n, leaf) in [(1usize, 4usize), (7, 2), (100, 7), (257, 16)] {
+            let expect = tree_reference(n, leaf);
+            for workers in [1usize, 2, 4] {
+                let mut pool = WorkerPool::new(workers);
+                for sched in [
+                    Schedule::Static,
+                    Schedule::StaticChunk(2),
+                    Schedule::Dynamic(1),
+                    Schedule::Guided(1),
+                    Schedule::NonmonotonicDynamic(1),
+                ] {
+                    let got =
+                        map_reduce(&mut pool, n, leaf, sched, |i| i as u64, chain);
+                    assert_eq!(
+                        got, expect,
+                        "n={n} leaf={leaf} workers={workers} {sched:?} diverged"
+                    );
+                }
+            }
+        }
+    }
+}

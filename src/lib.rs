@@ -34,6 +34,7 @@ pub use ezp_plot as plot;
 pub use ezp_render as render;
 pub use ezp_sched as sched;
 pub use ezp_simsched as simsched;
+pub use ezp_stream as stream;
 pub use ezp_trace as trace;
 pub use ezp_view as view;
 
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use ezp_perf::PerfProbe;
     pub use ezp_sched::{TaskGraph, WorkerPool};
     pub use ezp_simsched::{simulate, simulate_iterations, CostMap, SimConfig};
+    pub use ezp_stream::{map_reduce, EmitMode, Farm, Pipeline, StreamStats};
     pub use ezp_trace::{Trace, TraceMeta};
     pub use ezp_view::{CoverageMap, GanttModel, TraceComparison};
 }

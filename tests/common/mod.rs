@@ -117,6 +117,72 @@ pub fn variants_of(kernel: &str) -> Vec<&'static str> {
         .variants()
 }
 
+/// Per-kernel parameters of the *streaming* conformance dimension.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamCase {
+    /// Streaming-registry name.
+    pub kernel: &'static str,
+    /// Frame dimension (meaning is kernel-defined; `wordcount` scales
+    /// words per frame off it).
+    pub dim: usize,
+    /// Frames pushed through the pipeline.
+    pub frames: usize,
+}
+
+/// One case per streaming kernel. `conformance.rs` asserts this table
+/// matches `ezp_stream::stream_registry()` exactly, mirroring the
+/// classic table's exhaustiveness guard.
+pub fn stream_cases() -> Vec<StreamCase> {
+    [
+        ("mandel_zoom", 16, 10),
+        ("frame_diff", 24, 12),
+        ("wordcount", 8, 10),
+    ]
+    .iter()
+    .map(|&(kernel, dim, frames)| StreamCase { kernel, dim, frames })
+    .collect()
+}
+
+/// Farm widths the streaming matrix sweeps.
+pub const FARM_WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// Runs the streaming conformance matrix: every streamed kernel ×
+/// {Ordered, Unordered} × the given farm widths × the given worker
+/// counts, against the sequential one-frame-at-a-time baseline.
+///
+/// Ordered runs must equal the baseline byte-for-byte *in order*;
+/// Unordered runs must be the same multiset keyed by frame id (sorted
+/// by id, then byte-equal). Returns one `(kernel, mode, width,
+/// workers)` line per divergence.
+pub fn run_stream_matrix(widths: &[usize], workers: &[usize]) -> Vec<String> {
+    use easypap::stream::{stream_kernel, EmitMode};
+    let mut failures = Vec::new();
+    for case in stream_cases() {
+        let kernel = stream_kernel(case.kernel).expect("case has no streaming kernel");
+        let baseline = kernel.run_seq(case.dim, case.frames);
+        for &width in widths {
+            for &w in workers {
+                let mut pool = WorkerPool::new(w);
+                for mode in [EmitMode::Ordered, EmitMode::Unordered] {
+                    let (mut got, stats) = kernel
+                        .run(case.dim, case.frames, mode, width, &mut pool, &NullProbe)
+                        .unwrap();
+                    if mode == EmitMode::Unordered {
+                        got.sort_by_key(|&(f, _)| f);
+                    }
+                    if got != baseline || stats.frames != case.frames {
+                        failures.push(format!(
+                            "({}, {mode}, width {width}, {w} workers)",
+                            case.kernel
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
 /// Runs the conformance matrix restricted to the given policies and
 /// worker counts, returning one `(kernel, variant, policy, workers)`
 /// line per divergence from the sequential golden image.

@@ -39,6 +39,58 @@ fn conformance_table_covers_every_registered_kernel() {
     }
 }
 
+/// The streaming registry gets the same exhaustiveness treatment as the
+/// classic one: every streaming kernel needs a row in the stream case
+/// table, and the table must not hold stale rows.
+#[test]
+fn stream_table_covers_every_streaming_kernel() {
+    let names: Vec<&str> = easypap::stream::stream_registry()
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    let table = common::stream_cases();
+    for name in &names {
+        assert!(
+            table.iter().any(|c| c.kernel == *name),
+            "streaming kernel `{name}` is registered but has no conformance case — \
+             add a row to tests/common/mod.rs::stream_cases()"
+        );
+    }
+    for case in &table {
+        assert!(
+            names.contains(&case.kernel),
+            "stream conformance case `{}` has no registered streaming kernel",
+            case.kernel
+        );
+    }
+}
+
+/// Always-on streaming smoke: every streamed kernel × both emit modes
+/// at 2 workers, farm widths 1 and 2.
+#[test]
+fn stream_conformance_smoke_two_workers() {
+    let failures = common::run_stream_matrix(&[1, 2], &[2]);
+    assert!(
+        failures.is_empty(),
+        "streamed kernels diverged from their sequential baseline:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The full streaming matrix: every streamed kernel × both emit modes ×
+/// farm widths {1, 2, 4} × {1, 2, 4} workers. Tier-2 only.
+#[cfg(feature = "ezp-check")]
+#[test]
+fn stream_conformance_full_matrix() {
+    let failures = common::run_stream_matrix(&common::FARM_WIDTHS, &[1, 2, 4]);
+    assert!(
+        failures.is_empty(),
+        "{} streaming matrix cells diverged from the sequential baseline:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
 /// Always-on smoke slice of the matrix: every kernel × every variant at
 /// 2 workers under the two extreme policies (fully static vs stealing).
 #[test]
