@@ -160,6 +160,51 @@ EOF
     fi
 )
 
+# Explain lane (docs/profiling.md): record an instrumented trace, then
+# run the causal profiler over it. The report must carry the critical
+# path, per-cause idle counters, the work/span bound and at least one
+# advisor recommendation, and the per-cause idle slices must sum to the
+# idle_ns total.
+explain_dir="$(mktemp -d)"
+(
+    cd "$explain_dir"
+    "$OLDPWD/target/release/easypap" --kernel mandel --variant omp_tiled \
+        --size 64 --tile-size 16 --iterations 2 --threads 2 \
+        --no-display --trace --stats=json > explain_run.out
+    "$OLDPWD/target/release/easyview" explain trace.ezv > explain.out
+    for needle in "work T1" "span Tinf" "task latency" "p99" "# advice:"; do
+        grep -qF "$needle" explain.out || {
+            echo "error: explain report is missing \"$needle\"" >&2
+            exit 1
+        }
+    done
+    grep -qE '\[[a-z-]+\]' explain.out || {
+        echo "error: explain report has no advisor recommendation" >&2
+        exit 1
+    }
+    # per-cause attribution: the counter snapshot embedded in the trace
+    # carries idle_ns{cause=...} slices that sum exactly to idle_ns
+    sed -n '/^{/,$p' explain_run.out > explain_stats.json
+    grep -q 'idle_ns{cause=' explain_stats.json || {
+        echo "error: per-cause idle counters missing from --stats=json" >&2
+        exit 1
+    }
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - explain_stats.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = {r["name"]: r["total"] for r in doc["counters"]["counters"]}
+total = rows.get("idle_ns", 0)
+causes = sum(v for k, v in rows.items() if k.startswith("idle_ns{cause="))
+assert causes == total, f"idle causes sum to {causes}, idle_ns is {total}"
+print(f"verify: explain OK (idle breakdown {causes} ns == idle_ns total)")
+EOF
+    else
+        echo "verify: explain OK (grep fallback, no sum check)"
+    fi
+)
+rm -rf "$explain_dir"
+
 # Streaming smoke lane: a 2-worker ordered pipeline run over 16 frames
 # must stream end to end and its --stats=json report must carry the
 # streaming counters (docs/streaming.md).

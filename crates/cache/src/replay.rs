@@ -163,6 +163,8 @@ mod tests {
                 end_ns: 1000,
             }],
             tasks,
+            edges: Vec::new(),
+            counters: None,
         }
     }
 

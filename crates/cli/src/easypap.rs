@@ -63,13 +63,19 @@ where
     // assemble the probe stack: monitoring/tracing feed off a Monitor
     // (the trace is the harvested report); `--stats`/`--trace-events`
     // add the perf probe for runtime counters and spans
-    let monitor = if cfg.display == DisplayMode::Monitoring || cfg.trace || cfg.trace_events.is_some()
+    let monitor = if cfg.display == DisplayMode::Monitoring
+        || cfg.trace
+        || cfg.explain
+        || cfg.trace_events.is_some()
     {
         Some(Arc::new(Monitor::new(cfg.threads, cfg.grid()?)))
     } else {
         None
     };
-    let perf = if cfg.stats.is_some() || cfg.trace_events.is_some() {
+    // `--trace`/`--explain` also want the perf probe: the counter
+    // snapshot (idle causes included) embeds into the saved trace and
+    // feeds the explain report
+    let perf = if cfg.stats.is_some() || cfg.trace || cfg.explain || cfg.trace_events.is_some() {
         Some(Arc::new(PerfProbe::new(cfg.threads)))
     } else {
         None
@@ -131,17 +137,27 @@ where
                 out.push_str(&report.heat_map(last.iteration).to_ascii());
             }
         }
-        if cfg.trace {
-            let trace = Trace::from_report(TraceMeta::from_config(&cfg), report);
-            ezp_trace::io::save(&trace, &cfg.trace_file)?;
-            writeln!(
-                out,
-                "trace ({} tasks, {} iterations) written to {}",
-                trace.tasks.len(),
-                trace.iteration_count(),
-                cfg.trace_file
-            )
-            .unwrap();
+        if cfg.trace || cfg.explain {
+            let mut trace = Trace::from_report(TraceMeta::from_config(&cfg), report);
+            if let Some(p) = &perf {
+                trace = trace.with_counters(p.snapshot());
+            }
+            if cfg.trace {
+                ezp_trace::io::save(&trace, &cfg.trace_file)?;
+                writeln!(
+                    out,
+                    "trace ({} tasks, {} iterations, {} edges) written to {}",
+                    trace.tasks.len(),
+                    trace.iteration_count(),
+                    trace.edges.len(),
+                    cfg.trace_file
+                )
+                .unwrap();
+            }
+            if cfg.explain {
+                writeln!(out, "\n=== Explain (causal profile) ===").unwrap();
+                out.push_str(&ezp_view::explain(&trace)?.render());
+            }
         }
     }
 
@@ -471,6 +487,37 @@ mod tests {
             assert_eq!(trace.meta.kernel, "blur");
             assert_eq!(trace.iteration_count(), 2);
             assert_eq!(trace.tasks.len(), 2 * 16);
+            // v2: the runtime-counter snapshot rides along in the trace
+            let counters = trace.counters.expect("counters embedded in trace");
+            assert!(counters.total("tasks_executed") > 0);
+        });
+    }
+
+    #[test]
+    fn explain_flag_appends_causal_profile() {
+        in_tmp_dir(|| {
+            let out = run_easypap([
+                "--kernel",
+                "mandel",
+                "--variant",
+                "omp_tiled",
+                "--size",
+                "64",
+                "--tile-size",
+                "16",
+                "--iterations",
+                "2",
+                "--threads",
+                "2",
+                "--explain",
+                "--no-display",
+            ])
+            .unwrap();
+            assert!(out.contains("Explain (causal profile)"), "{out}");
+            assert!(out.contains("work T1"), "{out}");
+            assert!(out.contains("span Tinf"), "{out}");
+            assert!(out.contains("task latency"), "{out}");
+            assert!(out.contains("# advice:"), "{out}");
         });
     }
 

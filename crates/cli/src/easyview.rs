@@ -7,6 +7,7 @@
 //! easyview trace.ezv --at 1234567           # tasks crossing a timestamp
 //! easyview a.ezv --compare b.ezv            # two-trace comparison
 //! easyview trace.ezv --svg gantt.svg        # export the Gantt as SVG
+//! easyview explain trace.ezv                # causal profile + advice
 //! ```
 
 use ezp_core::error::{Error, Result};
@@ -25,6 +26,9 @@ struct ViewArgs {
     /// `--at T`, or mid-span) over a thumbnail, like Fig. 7's right pane.
     highlight: Option<String>,
     width: usize,
+    /// `easyview explain <trace>`: causal-profiling report instead of
+    /// the Gantt chart.
+    explain: bool,
 }
 
 fn parse_args<I, S>(args: I) -> Result<ViewArgs>
@@ -41,6 +45,7 @@ where
         svg: None,
         highlight: None,
         width: 100,
+        explain: false,
     };
     let mut it = args.into_iter();
     let need = |v: Option<S>, opt: &str| -> Result<String> {
@@ -81,6 +86,7 @@ where
                     .parse()
                     .map_err(|_| Error::Config("bad width".into()))?
             }
+            "explain" if !out.explain && out.trace_path.is_empty() => out.explain = true,
             other if !other.starts_with('-') && out.trace_path.is_empty() => {
                 out.trace_path = other.to_string();
             }
@@ -112,6 +118,12 @@ where
         trace.meta.schedule
     )
     .unwrap();
+
+    if args.explain {
+        writeln!(out, "\n=== Explain (causal profile) ===").unwrap();
+        out.push_str(&ezp_view::explain(&trace)?.render());
+        return Ok(out);
+    }
 
     if let Some(other_path) = &args.compare {
         let other = ezp_trace::io::load(other_path)?;
@@ -241,6 +253,8 @@ mod tests {
                 mk(2, 32, 100, 150, 0),
                 mk(2, 48, 100, 190, 1),
             ],
+            edges: Vec::new(),
+            counters: None,
         };
         let path = std::env::temp_dir().join(format!(
             "ezp_view_cli_{}_{}_{name}.ezv",
@@ -331,6 +345,17 @@ mod tests {
         assert!(bytes[15..].chunks(3).any(|c| c[0] > 200 && c[1] > 200 && c[2] < 100));
         std::fs::remove_file(path).unwrap();
         std::fs::remove_file(thumb).unwrap();
+    }
+
+    #[test]
+    fn explain_mode_renders_causal_profile() {
+        let path = sample_trace_file("explain");
+        let out = run_easyview(["explain", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("Explain (causal profile)"), "{out}");
+        assert!(out.contains("work T1"), "{out}");
+        assert!(out.contains("span Tinf"), "{out}");
+        assert!(out.contains("# advice:"), "{out}");
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -636,6 +636,19 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_floats_serialize_as_null() {
+        // regression: `busy_ratio()` is INFINITY when a worker sat fully
+        // idle; bare `inf`/`NaN` tokens would make --stats=json invalid
+        for x in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(Json::Float(x).dump(), "null", "{x}");
+        }
+        // and a document containing one stays parseable
+        let doc = Json::obj([("busy_ratio", Json::Float(f64::INFINITY))]);
+        let back = Json::parse(&doc.dump()).unwrap();
+        assert_eq!(back.get("busy_ratio"), Some(&Json::Null));
+    }
+
+    #[test]
     fn boundary_integers_round_trip_exactly() {
         for n in [0u64, 1, u64::MAX, u64::MAX - 1, i64::MAX as u64] {
             assert_eq!(round_trip(&Json::UInt(n)), Json::UInt(n), "u64 {n}");

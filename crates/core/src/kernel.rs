@@ -28,6 +28,112 @@ pub enum RaceKind {
     LostUpdate,
 }
 
+/// Why a worker was idle — the cause tag carried by
+/// [`RuntimeEvent::IdleNs`].
+///
+/// The paper's monitor shows *that* a worker idled (a dark stripe); the
+/// cause tag says *why*, which is what turns the timeline into a
+/// diagnosis: a dependency stall wants a wider DAG, a barrier wait wants
+/// a better schedule, backpressure wants a wider farm stage. Each cause
+/// maps to one `idle_ns{cause="..."}` counter and one `idle:...` span
+/// family in `ezp-perf`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IdleCause {
+    /// A task-graph worker found every deque empty: its next task's
+    /// dependencies had not released yet.
+    DepStall,
+    /// Time inside a dispenser acquiring the next chunk — lock-free CAS
+    /// retries and steal scans on range-scheduled loops.
+    Steal,
+    /// Out of work at the end-of-loop barrier, waiting for stragglers.
+    Barrier,
+    /// Blocked in the worker pool's spin-then-park region protocol
+    /// (between parallel regions, not inside one).
+    PoolPark,
+    /// A streamed frame was data-ready but a bounded inter-stage buffer
+    /// or stage-width limit held it back (`ezp-stream` backpressure).
+    Backpressure,
+}
+
+impl IdleCause {
+    /// Every cause, in stable index order.
+    pub const ALL: [IdleCause; 5] = [
+        IdleCause::DepStall,
+        IdleCause::Steal,
+        IdleCause::Barrier,
+        IdleCause::PoolPark,
+        IdleCause::Backpressure,
+    ];
+
+    /// Stable dense index (`0..IdleCause::ALL.len()`), for per-cause
+    /// counter tables.
+    pub fn index(self) -> usize {
+        match self {
+            IdleCause::DepStall => 0,
+            IdleCause::Steal => 1,
+            IdleCause::Barrier => 2,
+            IdleCause::PoolPark => 3,
+            IdleCause::Backpressure => 4,
+        }
+    }
+
+    /// The `cause` label value used in counter names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IdleCause::DepStall => "dep_stall",
+            IdleCause::Steal => "steal",
+            IdleCause::Barrier => "barrier",
+            IdleCause::PoolPark => "pool_park",
+            IdleCause::Backpressure => "backpressure",
+        }
+    }
+}
+
+/// The dependency-edge families a task graph distinguishes, recorded
+/// into traces so a run replays as a timed DAG (see
+/// `ezp_sched::skeleton` for the streaming semantics of each family).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// A true data dependency: the consumer reads what the producer
+    /// wrote (wavefront neighbors, a frame flowing stage to stage).
+    Data,
+    /// A stage-width (replication-limit) edge: at most `w` frames inside
+    /// a streaming stage concurrently.
+    Width,
+    /// A bounded-buffer capacity edge: backpressure as graph structure.
+    Capacity,
+}
+
+impl EdgeKind {
+    /// Stable wire encoding (trace format v2).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            EdgeKind::Data => 0,
+            EdgeKind::Width => 1,
+            EdgeKind::Capacity => 2,
+        }
+    }
+
+    /// Inverse of [`EdgeKind::as_u8`].
+    pub fn from_u8(v: u8) -> Option<EdgeKind> {
+        match v {
+            0 => Some(EdgeKind::Data),
+            1 => Some(EdgeKind::Width),
+            2 => Some(EdgeKind::Capacity),
+            _ => None,
+        }
+    }
+
+    /// Human-readable family name.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Data => "data",
+            EdgeKind::Width => "width",
+            EdgeKind::Capacity => "capacity",
+        }
+    }
+}
+
 /// A scheduler/runtime event reported through [`Probe::runtime_event`].
 ///
 /// These are the counter-shaped observations the scheduling layer can
@@ -50,9 +156,17 @@ pub enum RuntimeEvent {
         /// Steals that actually obtained work from a victim.
         succeeded: u64,
     },
-    /// Nanoseconds the worker spent inside the dispenser waiting for /
-    /// acquiring its next chunk (lock contention, steal scans).
-    IdleNs(u64),
+    /// Nanoseconds the worker spent waiting instead of computing, tagged
+    /// with *why* it waited. Every wait site in the scheduling layer
+    /// (dispenser acquisition, task-graph stalls, barriers, pool parks,
+    /// stream backpressure) reports through this one variant, so the
+    /// per-cause counters always sum to the total idle time.
+    IdleNs {
+        /// Wait duration in nanoseconds.
+        ns: u64,
+        /// Why the worker was idle.
+        cause: IdleCause,
+    },
     /// The worker ran out of work and reached the end-of-loop barrier.
     BarrierWait,
     /// The worker waited for ready tasks in a task-graph run.
@@ -144,6 +258,17 @@ pub trait Probe: Send + Sync {
     fn wants_runtime_events(&self) -> bool {
         false
     }
+    /// A dependency edge `from → to` (node ids of the executing task
+    /// graph) of kind `kind` exists in the current region's DAG.
+    /// Reported once per probed task-graph run, before execution starts,
+    /// so tracers can record edge provenance alongside the task events.
+    fn dep_edge(&self, _from: usize, _to: usize, _kind: EdgeKind) {}
+    /// Whether this probe records [`Probe::dep_edge`] calls. Gated
+    /// separately from `wants_runtime_events` because edge enumeration
+    /// is O(edges) per region — only tracers should pay it.
+    fn wants_dep_edges(&self) -> bool {
+        false
+    }
 }
 
 /// A probe that records nothing — used by the performance mode, where
@@ -194,6 +319,14 @@ impl Probe for MultiProbe {
     }
     fn wants_runtime_events(&self) -> bool {
         self.probes.iter().any(|p| p.wants_runtime_events())
+    }
+    fn dep_edge(&self, from: usize, to: usize, kind: EdgeKind) {
+        for p in &self.probes {
+            p.dep_edge(from, to, kind);
+        }
+    }
+    fn wants_dep_edges(&self) -> bool {
+        self.probes.iter().any(|p| p.wants_dep_edges())
     }
 }
 
@@ -359,6 +492,40 @@ mod tests {
         multi.runtime_event(0, RuntimeEvent::BarrierWait);
         multi.runtime_event(1, RuntimeEvent::ChunkDispensed { len: 4 });
         assert_eq!(loud.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dep_edges_fan_out_and_gate() {
+        struct EdgeProbe(AtomicUsize);
+        impl Probe for EdgeProbe {
+            fn dep_edge(&self, _: usize, _: usize, _: EdgeKind) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn wants_dep_edges(&self) -> bool {
+                true
+            }
+        }
+        let silent = MultiProbe::new(vec![Arc::new(CountingProbe::default())]);
+        assert!(!silent.wants_dep_edges());
+        let tracer = Arc::new(EdgeProbe(AtomicUsize::new(0)));
+        let multi = MultiProbe::new(vec![Arc::new(CountingProbe::default()), tracer.clone()]);
+        assert!(multi.wants_dep_edges());
+        multi.dep_edge(0, 1, EdgeKind::Data);
+        multi.dep_edge(3, 5, EdgeKind::Capacity);
+        assert_eq!(tracer.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn idle_cause_and_edge_kind_encodings_are_stable() {
+        for (i, c) in IdleCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let labels: Vec<&str> = IdleCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["dep_stall", "steal", "barrier", "pool_park", "backpressure"]);
+        for k in [EdgeKind::Data, EdgeKind::Width, EdgeKind::Capacity] {
+            assert_eq!(EdgeKind::from_u8(k.as_u8()), Some(k));
+        }
+        assert_eq!(EdgeKind::from_u8(3), None);
     }
 
     #[test]

@@ -196,6 +196,9 @@ pub struct RunConfig {
     pub trace: bool,
     /// Trace output path (`--trace-file`), default `trace.ezv`.
     pub trace_file: String,
+    /// `--explain`: append the causal-profiling report (critical path,
+    /// idle-cause breakdown, bottleneck advice) after the run.
+    pub explain: bool,
     /// `--mpirun "-np N"`: number of simulated MPI ranks (1 = no MPI).
     pub mpi_ranks: usize,
     /// `--debug <flags>` was given: diagnostic logging is wanted (the
@@ -246,6 +249,7 @@ impl Default for RunConfig {
             display: DisplayMode::Display,
             trace: false,
             trace_file: "trace.ezv".to_string(),
+            explain: false,
             mpi_ranks: 1,
             debug: false,
             debug_mpi: false,
@@ -344,6 +348,7 @@ impl RunConfig {
                 "--monitoring" | "-m" => cfg.display = DisplayMode::Monitoring,
                 "--trace" | "-tr" => cfg.trace = true,
                 "--trace-file" => cfg.trace_file = need_value(&mut it, arg)?,
+                "--explain" => cfg.explain = true,
                 "--mpirun" => {
                     // the paper passes the raw mpirun flags, e.g. "-np 2"
                     let spec = need_value(&mut it, arg)?;
@@ -628,6 +633,9 @@ mod tests {
         let plain = RunConfig::parse_args(["--kernel", "life"]).unwrap();
         assert_eq!(plain.stats, None);
         assert_eq!(plain.trace_events, None);
+        assert!(!plain.explain);
+        let cfg = RunConfig::parse_args(["--kernel", "life", "--explain"]).unwrap();
+        assert!(cfg.explain);
     }
 
     #[test]

@@ -94,6 +94,8 @@ impl LaunchProfile {
                 end_ns: self.makespan_ns,
             }],
             tasks,
+            edges: Vec::new(),
+            counters: None,
         };
         trace.validate()?;
         Ok(trace)

@@ -27,7 +27,7 @@ pub mod tiling;
 pub mod unified;
 
 pub use live::Monitor;
-pub use record::TileRecord;
+pub use record::{DepEdge, TileRecord};
 pub use report::{IterationStats, MonitorReport};
 pub use tiling::{HeatMap, TilingSnapshot};
 pub use unified::UnifiedReport;

@@ -7,11 +7,12 @@
 //! per-worker (hence uncontended) `Mutex` that makes the final harvest
 //! safe.
 
-use crate::record::TileRecord;
+use crate::record::{DepEdge, TileRecord};
 use crate::report::{IterationSpan, MonitorReport};
-use ezp_core::kernel::Probe;
+use ezp_core::kernel::{EdgeKind, Probe};
 use ezp_core::time::now_ns;
 use ezp_core::{TileGrid, WorkerId};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -41,6 +42,12 @@ pub struct Monitor {
     slots: Vec<WorkerSlot>,
     current_iteration: AtomicU32,
     iterations: Mutex<Vec<IterationSpan>>,
+    /// Dependency edges reported by the task-graph executor, deduped:
+    /// graph runs re-enumerate the same structural edges every
+    /// iteration, and the report wants each once. Edge reporting
+    /// happens once per region launch (not per task), so this lock is
+    /// nowhere near the tile hot path.
+    edges: Mutex<BTreeSet<(usize, usize, u8)>>,
 }
 
 impl Monitor {
@@ -52,6 +59,7 @@ impl Monitor {
             slots: (0..workers).map(|_| WorkerSlot::new()).collect(),
             current_iteration: AtomicU32::new(0),
             iterations: Mutex::new(Vec::new()),
+            edges: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -75,7 +83,15 @@ impl Monitor {
                 last.end_ns = now_ns();
             }
         }
+        let edges: Vec<DepEdge> = self
+            .edges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|&(from, to, kind)| DepEdge { from, to, kind })
+            .collect();
         MonitorReport::new(self.slots.len(), self.grid, iterations, records)
+            .with_edges(edges)
     }
 
     #[inline]
@@ -127,6 +143,14 @@ impl Probe for Monitor {
             end_ns: end,
             worker,
         });
+    }
+
+    fn dep_edge(&self, from: usize, to: usize, kind: EdgeKind) {
+        self.edges.lock().unwrap().insert((from, to, kind.as_u8()));
+    }
+
+    fn wants_dep_edges(&self) -> bool {
+        true
     }
 }
 
@@ -219,6 +243,29 @@ mod tests {
         let rep = m.report();
         assert_eq!(rep.iterations.len(), 1);
         assert_ne!(rep.iterations[0].end_ns, u64::MAX);
+    }
+
+    #[test]
+    fn dep_edges_are_collected_and_deduped() {
+        let m = Monitor::new(1, grid());
+        assert!(m.wants_dep_edges());
+        // re-emission across iterations (same structural graph) dedupes
+        for _ in 0..3 {
+            m.dep_edge(0, 1, EdgeKind::Data);
+            m.dep_edge(0, 4, EdgeKind::Data);
+            m.dep_edge(2, 3, EdgeKind::Capacity);
+        }
+        let rep = m.report();
+        assert_eq!(rep.edges.len(), 3);
+        assert_eq!(
+            rep.edges[0],
+            DepEdge {
+                from: 0,
+                to: 1,
+                kind: EdgeKind::Data.as_u8()
+            }
+        );
+        assert_eq!(rep.edges[2].edge_kind(), Some(EdgeKind::Capacity));
     }
 
     #[test]

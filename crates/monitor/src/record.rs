@@ -49,6 +49,48 @@ impl TileRecord {
     }
 }
 
+/// One task-graph dependency edge observed during a run: `from` must
+/// complete before `to` may start, for the reason `kind` encodes
+/// (data / width / capacity — see `ezp_core::kernel::EdgeKind`). Edges
+/// are what turn a recorded trace from a bag of intervals into a timed
+/// DAG that `easyview explain` can walk for the critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DepEdge {
+    /// Task id of the producer (the dependency).
+    pub from: usize,
+    /// Task id of the consumer (the dependent).
+    pub to: usize,
+    /// Edge family, encoded per [`EdgeKind::as_u8`](ezp_core::kernel::EdgeKind::as_u8).
+    pub kind: u8,
+}
+
+impl DepEdge {
+    /// The decoded edge family, if `kind` is a known encoding.
+    pub fn edge_kind(&self) -> Option<ezp_core::kernel::EdgeKind> {
+        ezp_core::kernel::EdgeKind::from_u8(self.kind)
+    }
+}
+
+impl ToJson for DepEdge {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DepEdge {
+    fn from_json(v: &Json) -> ezp_core::Result<Self> {
+        Ok(DepEdge {
+            from: v.field("from")?,
+            to: v.field("to")?,
+            kind: v.field("kind")?,
+        })
+    }
+}
+
 impl ToJson for TileRecord {
     fn to_json(&self) -> Json {
         Json::obj([

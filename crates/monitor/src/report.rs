@@ -1,7 +1,7 @@
 //! Analysis of harvested monitoring data: per-iteration per-CPU
 //! busy/idle accounting — the numbers behind the Activity Monitor window.
 
-use crate::record::TileRecord;
+use crate::record::{DepEdge, TileRecord};
 use crate::tiling::{HeatMap, TilingSnapshot};
 use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_core::TileGrid;
@@ -134,6 +134,11 @@ pub struct MonitorReport {
     pub iterations: Vec<IterationSpan>,
     /// All tile records, sorted by (iteration, start time).
     pub records: Vec<TileRecord>,
+    /// Dependency edges of the run's task graph (empty for loop-
+    /// scheduled runs, which have no inter-task edges). Task ids index
+    /// the graph the scheduler ran — for tiled kernels, row-major tile
+    /// ids of `grid`.
+    pub edges: Vec<DepEdge>,
 }
 
 impl MonitorReport {
@@ -150,7 +155,15 @@ impl MonitorReport {
             grid,
             iterations,
             records,
+            edges: Vec::new(),
         }
+    }
+
+    /// The same report carrying the run's dependency edges (builder
+    /// style, so the many edge-free constructions stay untouched).
+    pub fn with_edges(mut self, edges: Vec<DepEdge>) -> Self {
+        self.edges = edges;
+        self
     }
 
     /// Records belonging to iteration `it`.

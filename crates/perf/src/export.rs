@@ -16,14 +16,26 @@ use std::fmt::Write as _;
 pub const PROM_PREFIX: &str = "ezp_";
 
 /// Renders a snapshot in the Prometheus text exposition format: one
-/// `# TYPE` line per counter, one `{worker="N"}`-labeled sample per
-/// worker slot, and an unlabeled total.
+/// `# TYPE` line per counter, one `worker="N"`-labeled sample per
+/// worker slot, and a per-worker-label-free total.
+///
+/// A counter name may carry its own label set (`idle_ns{cause="..."}`);
+/// the worker label is then *merged* into it rather than appended as a
+/// second brace group, so the output stays well-formed.
 pub fn to_prometheus(snap: &CounterSnapshot) -> String {
     let mut out = String::new();
     for c in &snap.counters {
-        let _ = writeln!(out, "# TYPE {PROM_PREFIX}{} counter", c.name);
+        let (base, labels) = match c.name.split_once('{') {
+            Some((base, rest)) => (base, rest.strip_suffix('}').unwrap_or(rest)),
+            None => (c.name.as_str(), ""),
+        };
+        let _ = writeln!(out, "# TYPE {PROM_PREFIX}{base} counter");
         for (w, v) in c.per_worker.iter().enumerate() {
-            let _ = writeln!(out, "{PROM_PREFIX}{}{{worker=\"{w}\"}} {v}", c.name);
+            if labels.is_empty() {
+                let _ = writeln!(out, "{PROM_PREFIX}{base}{{worker=\"{w}\"}} {v}");
+            } else {
+                let _ = writeln!(out, "{PROM_PREFIX}{base}{{{labels},worker=\"{w}\"}} {v}");
+            }
         }
         let _ = writeln!(out, "{PROM_PREFIX}{} {}", c.name, c.total());
     }
@@ -49,15 +61,38 @@ pub fn from_prometheus(text: &str) -> Result<CounterSnapshot> {
             .strip_prefix(PROM_PREFIX)
             .ok_or_else(|| err("metric without ezp_ prefix"))?;
         match metric.split_once('{') {
-            Some((name, labels)) => {
-                let worker: usize = labels
+            Some((base, labels)) => {
+                let body = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                // split off the worker label (if any); the rest of the
+                // labels belong to the counter *name* itself
+                let mut parts: Vec<&str> = body.split(',').collect();
+                let worker_at = parts.iter().position(|p| p.starts_with("worker=\""));
+                let Some(at) = worker_at else {
+                    // a label-bearing name's total line: cross-check
+                    let name = format!("{base}{{{body}}}");
+                    if let Some(c) = snap.get(&name) {
+                        if c.total() != value {
+                            return Err(err("total disagrees with worker samples"));
+                        }
+                    }
+                    continue;
+                };
+                let worker: usize = parts
+                    .remove(at)
                     .strip_prefix("worker=\"")
-                    .and_then(|rest| rest.strip_suffix("\"}"))
+                    .and_then(|rest| rest.strip_suffix('"'))
                     .ok_or_else(|| err("expected worker=\"N\" label"))?
                     .parse()
                     .map_err(|_| err("bad worker index"))?;
-                if snap.get(name).is_none() {
-                    snap.push(name, Vec::new());
+                let name = if parts.is_empty() {
+                    base.to_string()
+                } else {
+                    format!("{base}{{{}}}", parts.join(","))
+                };
+                if snap.get(&name).is_none() {
+                    snap.push(&name, Vec::new());
                 }
                 let c = snap
                     .counters
@@ -146,6 +181,23 @@ mod tests {
             from_prometheus("ezp_x{worker=\"0\"} 1\nezp_x 5").is_err(),
             "total mismatch"
         );
+    }
+
+    #[test]
+    fn labeled_counter_names_merge_the_worker_label() {
+        let mut set = CounterSet::new(2);
+        let id = set.register("idle_ns{cause=\"steal\"}");
+        set.add(id, 0, 40);
+        set.add(id, 1, 2);
+        let snap = set.snapshot();
+        let text = to_prometheus(&snap);
+        // one brace group per sample, worker merged after the cause
+        assert!(text.contains("ezp_idle_ns{cause=\"steal\",worker=\"0\"} 40"));
+        assert!(text.contains("ezp_idle_ns{cause=\"steal\",worker=\"1\"} 2"));
+        assert!(text.contains("ezp_idle_ns{cause=\"steal\"} 42"));
+        assert!(!text.contains("}{"), "nested brace groups in:\n{text}");
+        let back = from_prometheus(&text).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! one process — the CLI test suite does this — never share numbers.
 
 use crate::counters::{CounterId, CounterSet, CounterSnapshot};
+use crate::hist::{HistSummary, LogHistogram, ShardedHistogram};
 use crate::span::{SpanRecord, SpanSet, DEFAULT_CAPACITY};
-use ezp_core::kernel::{Probe, RuntimeEvent};
+use ezp_core::kernel::{IdleCause, Probe, RuntimeEvent};
 use ezp_core::time::now_ns;
 use ezp_core::WorkerId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +30,23 @@ pub mod names {
     pub const STEALS_SUCCEEDED: &str = "steals_succeeded";
     /// Nanoseconds spent waiting for work (dispenser + task-graph waits).
     pub const IDLE_NS: &str = "idle_ns";
+    /// Per-cause idle slices, indexed like
+    /// [`IdleCause::ALL`](ezp_core::kernel::IdleCause::ALL). Every
+    /// cause-tagged idle event adds to both its slice and [`IDLE_NS`],
+    /// so the five slices always sum *exactly* to the total — the
+    /// invariant `easyview explain`'s idle breakdown relies on.
+    pub const IDLE_NS_BY_CAUSE: [&str; 5] = [
+        "idle_ns{cause=\"dep_stall\"}",
+        "idle_ns{cause=\"steal\"}",
+        "idle_ns{cause=\"barrier\"}",
+        "idle_ns{cause=\"pool_park\"}",
+        "idle_ns{cause=\"backpressure\"}",
+    ];
+
+    /// The `idle_ns{cause=...}` counter name for `cause`.
+    pub fn idle_cause_counter(cause: super::IdleCause) -> &'static str {
+        IDLE_NS_BY_CAUSE[cause.index()]
+    }
     /// End-of-loop barrier entries.
     pub const BARRIER_WAITS: &str = "barrier_waits";
     /// Task-graph waits on an empty ready queue.
@@ -62,6 +80,22 @@ pub mod names {
     pub const STAGE_OCCUPANCY: &str = "stage_occupancy";
 }
 
+/// Span names for the per-cause idle intervals, indexed like
+/// [`IdleCause::ALL`]. The `idle:` prefix is what the Chrome exporter
+/// keys its `"idle"` category on.
+const IDLE_SPAN_NAMES: [&str; 5] = [
+    "idle:dep_stall",
+    "idle:steal",
+    "idle:barrier",
+    "idle:pool_park",
+    "idle:backpressure",
+];
+
+/// One worker's in-flight tile start timestamp on its own cache line
+/// (see the `tile_start` field).
+#[repr(align(128))]
+struct TileStart(AtomicU64);
+
 /// Probe that accumulates runtime counters and iteration spans.
 pub struct PerfProbe {
     counters: CounterSet,
@@ -71,6 +105,7 @@ pub struct PerfProbe {
     steals_att: CounterId,
     steals_ok: CounterId,
     idle: CounterId,
+    idle_by_cause: [CounterId; 5],
     barriers: CounterId,
     task_waits: CounterId,
     deque_steals: CounterId,
@@ -84,6 +119,17 @@ pub struct PerfProbe {
     stage_occupancy: CounterId,
     /// Start timestamp of the iteration currently in flight.
     iter_start: AtomicU64,
+    /// Per-worker start timestamp of the tile currently in flight.
+    /// Each slot is padded to its own cache line: every tile bracket
+    /// stores and swaps here, and adjacent workers sharing a line
+    /// would put false-sharing traffic on the hot path the
+    /// `perf_overhead` bench gates at <=5%.
+    tile_start: Vec<TileStart>,
+    /// Task (tile) duration distribution, sharded per worker so the
+    /// record in `end_tile` never touches another worker's lines.
+    task_hist: ShardedHistogram,
+    /// Frame (iteration) duration distribution.
+    frame_hist: LogHistogram,
 }
 
 impl PerfProbe {
@@ -101,6 +147,8 @@ impl PerfProbe {
         let steals_att = counters.register(names::STEALS_ATTEMPTED);
         let steals_ok = counters.register(names::STEALS_SUCCEEDED);
         let idle = counters.register(names::IDLE_NS);
+        let idle_by_cause =
+            names::IDLE_NS_BY_CAUSE.map(|name| counters.register(name));
         let barriers = counters.register(names::BARRIER_WAITS);
         let task_waits = counters.register(names::TASK_WAITS);
         let deque_steals = counters.register(names::DEQUE_STEALS);
@@ -120,6 +168,7 @@ impl PerfProbe {
             steals_att,
             steals_ok,
             idle,
+            idle_by_cause,
             barriers,
             task_waits,
             deque_steals,
@@ -132,6 +181,9 @@ impl PerfProbe {
             reorder_depth,
             stage_occupancy,
             iter_start: AtomicU64::new(0),
+            tile_start: (0..workers.max(1)).map(|_| TileStart(AtomicU64::new(0))).collect(),
+            task_hist: ShardedHistogram::new("task_ns", workers),
+            frame_hist: LogHistogram::new("frame_ns"),
         }
     }
 
@@ -154,6 +206,24 @@ impl PerfProbe {
     pub fn span_snapshot(&self) -> Vec<SpanRecord> {
         self.spans.snapshot()
     }
+
+    /// The task (tile) duration histogram (per-worker shards).
+    pub fn task_hist(&self) -> &ShardedHistogram {
+        &self.task_hist
+    }
+
+    /// The frame (iteration) duration histogram.
+    pub fn frame_hist(&self) -> &LogHistogram {
+        &self.frame_hist
+    }
+
+    /// Percentile summaries of every histogram with observations.
+    pub fn hist_summaries(&self) -> Vec<HistSummary> {
+        [self.task_hist.summary(), self.frame_hist.summary()]
+            .into_iter()
+            .filter(|s| s.count > 0)
+            .collect()
+    }
 }
 
 impl Probe for PerfProbe {
@@ -163,11 +233,23 @@ impl Probe for PerfProbe {
 
     fn iteration_end(&self, _iteration: u32) {
         let start = self.iter_start.load(Ordering::Relaxed);
-        self.spans.record(0, "iteration", start, now_ns());
+        let end = now_ns();
+        self.spans.record(0, "iteration", start, end);
+        self.frame_hist.record(end.saturating_sub(start));
+    }
+
+    fn start_tile(&self, worker: WorkerId) {
+        let slot = worker.min(self.tile_start.len() - 1);
+        self.tile_start[slot].0.store(now_ns(), Ordering::Relaxed);
     }
 
     fn end_tile(&self, _x: usize, _y: usize, _w: usize, _h: usize, worker: WorkerId) {
         self.counters.incr(self.tasks, worker);
+        let slot = worker.min(self.tile_start.len() - 1);
+        let start = self.tile_start[slot].0.swap(0, Ordering::Relaxed);
+        if start != 0 {
+            self.task_hist.record(slot, now_ns().saturating_sub(start));
+        }
     }
 
     fn runtime_event(&self, worker: WorkerId, event: RuntimeEvent) {
@@ -180,7 +262,21 @@ impl Probe for PerfProbe {
                 self.counters.add(self.steals_att, worker, attempted);
                 self.counters.add(self.steals_ok, worker, succeeded);
             }
-            RuntimeEvent::IdleNs(ns) => self.counters.add(self.idle, worker, ns),
+            RuntimeEvent::IdleNs { ns, cause } => {
+                // both the total and the cause slice, so the per-cause
+                // breakdown always sums exactly to `idle_ns`
+                self.counters.add(self.idle, worker, ns);
+                self.counters.add(self.idle_by_cause[cause.index()], worker, ns);
+                if ns > 0 {
+                    let end = now_ns();
+                    self.spans.record(
+                        worker,
+                        IDLE_SPAN_NAMES[cause.index()],
+                        end.saturating_sub(ns),
+                        end,
+                    );
+                }
+            }
             RuntimeEvent::BarrierWait => self.counters.incr(self.barriers, worker),
             RuntimeEvent::TaskWait => self.counters.incr(self.task_waits, worker),
             RuntimeEvent::DequeSteal => self.counters.incr(self.deque_steals, worker),
@@ -241,7 +337,13 @@ mod tests {
                 succeeded: 1,
             },
         );
-        probe.runtime_event(1, RuntimeEvent::IdleNs(500));
+        probe.runtime_event(
+            1,
+            RuntimeEvent::IdleNs {
+                ns: 500,
+                cause: IdleCause::Steal,
+            },
+        );
         probe.runtime_event(0, RuntimeEvent::BarrierWait);
         probe.runtime_event(1, RuntimeEvent::TaskWait);
         probe.runtime_event(0, RuntimeEvent::DequeSteal);
@@ -272,6 +374,7 @@ mod tests {
         assert_eq!(snap.total(names::STEALS_ATTEMPTED), 3);
         assert_eq!(snap.total(names::STEALS_SUCCEEDED), 1);
         assert_eq!(snap.total(names::IDLE_NS), 500);
+        assert_eq!(snap.total(names::idle_cause_counter(IdleCause::Steal)), 500);
         assert_eq!(snap.total(names::BARRIER_WAITS), 1);
         assert_eq!(snap.total(names::TASK_WAITS), 1);
         assert_eq!(snap.total(names::DEQUE_STEALS), 1);
@@ -296,5 +399,66 @@ mod tests {
     fn probe_wants_runtime_events() {
         let probe = PerfProbe::new(1);
         assert!(probe.wants_runtime_events());
+    }
+
+    #[test]
+    fn idle_causes_sum_exactly_to_the_total() {
+        let probe = PerfProbe::new(2);
+        for (i, cause) in IdleCause::ALL.into_iter().enumerate() {
+            probe.runtime_event(
+                i % 2,
+                RuntimeEvent::IdleNs {
+                    ns: 100 * (i as u64 + 1),
+                    cause,
+                },
+            );
+        }
+        let snap = probe.snapshot();
+        let by_cause: u64 = names::IDLE_NS_BY_CAUSE
+            .iter()
+            .map(|n| snap.total(n))
+            .sum();
+        assert_eq!(by_cause, snap.total(names::IDLE_NS));
+        assert_eq!(snap.total(names::IDLE_NS), 100 + 200 + 300 + 400 + 500);
+        // and each cause produced a span carrying its label
+        let spans = probe.span_snapshot();
+        for cause in IdleCause::ALL {
+            assert!(
+                spans.iter().any(|s| s.name == format!("idle:{}", cause.label())),
+                "no span for {:?}",
+                cause
+            );
+        }
+    }
+
+    #[test]
+    fn tile_brackets_feed_the_task_histogram() {
+        let probe = PerfProbe::new(2);
+        for _ in 0..10 {
+            probe.start_tile(1);
+            probe.end_tile(0, 0, 8, 8, 1);
+        }
+        assert_eq!(probe.task_hist().count(), 10);
+        let summaries = probe.hist_summaries();
+        assert!(summaries.iter().any(|s| s.name == "task_ns"));
+        // no iterations ran: frame_ns has no observations, so it is
+        // filtered out of the summaries
+        assert!(!summaries.iter().any(|s| s.name == "frame_ns"));
+    }
+
+    #[test]
+    fn iterations_feed_the_frame_histogram() {
+        let probe = PerfProbe::new(1);
+        probe.iteration_start(0);
+        probe.iteration_end(0);
+        assert_eq!(probe.frame_hist().count(), 1);
+    }
+
+    #[test]
+    fn end_tile_without_start_records_no_duration() {
+        let probe = PerfProbe::new(1);
+        probe.end_tile(0, 0, 8, 8, 0);
+        assert_eq!(probe.task_hist().count(), 0);
+        assert_eq!(probe.snapshot().total(names::TASKS_EXECUTED), 1);
     }
 }

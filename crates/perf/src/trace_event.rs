@@ -57,7 +57,11 @@ impl TraceEvent {
 
 impl From<&SpanRecord> for TraceEvent {
     fn from(s: &SpanRecord) -> Self {
-        TraceEvent::complete(s.name, "span", s.start_ns, s.duration_ns(), s.worker)
+        // Idle-cause intervals ("idle:steal", "idle:backpressure", ...)
+        // get their own category so Perfetto can filter the *why a lane
+        // is dark* slices separately from compute spans.
+        let cat = if s.name.starts_with("idle:") { "idle" } else { "span" };
+        TraceEvent::complete(s.name, cat, s.start_ns, s.duration_ns(), s.worker)
     }
 }
 
@@ -138,8 +142,22 @@ mod tests {
         };
         let ev = TraceEvent::from(&s);
         assert_eq!(ev.name, "iteration");
+        assert_eq!(ev.cat, "span");
         assert_eq!(ev.tid, 2);
         assert_eq!(ev.dur_ns, 20_000);
+    }
+
+    #[test]
+    fn idle_spans_get_the_idle_category() {
+        let s = SpanRecord {
+            name: "idle:backpressure",
+            worker: 1,
+            start_ns: 100,
+            end_ns: 400,
+        };
+        let ev = TraceEvent::from(&s);
+        assert_eq!(ev.cat, "idle");
+        assert_eq!(ev.dur_ns, 300);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::dispenser::{dispenser_for, Dispenser};
 use crate::img_cell::{ImgCell, TileWriter};
 use crate::pool::WorkerPool;
-use ezp_core::kernel::{NullProbe, Probe, RuntimeEvent};
+use ezp_core::kernel::{IdleCause, NullProbe, Probe, RuntimeEvent};
 use ezp_core::time::now_ns;
 use ezp_core::{Img2D, Schedule, Tile, TileGrid, WorkerId};
 
@@ -137,18 +137,44 @@ pub(crate) fn run_region_probed(
                 spins: a.spins.saturating_sub(b.spins),
             },
         );
+        let park_ns = a.park_ns.saturating_sub(b.park_ns);
+        if park_ns > 0 {
+            // Kernel-blocked time of the epoch protocol, attributed to
+            // rank 0 like PoolSync (the pool counters are global).
+            probe.runtime_event(
+                0,
+                RuntimeEvent::IdleNs {
+                    ns: park_ns,
+                    cause: IdleCause::PoolPark,
+                },
+            );
+        }
     }
 }
 
 /// The wait for the chunk ended in work: report it plus the dispense.
+/// The wait is the dispenser's steal/contention path, so the idle slice
+/// is attributed to `cause="steal"`.
 fn report_chunk(probe: &dyn Probe, rank: WorkerId, t0: u64, len: usize) {
-    probe.runtime_event(rank, RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)));
+    probe.runtime_event(
+        rank,
+        RuntimeEvent::IdleNs {
+            ns: now_ns().saturating_sub(t0),
+            cause: IdleCause::Steal,
+        },
+    );
     probe.runtime_event(rank, RuntimeEvent::ChunkDispensed { len });
 }
 
 /// The wait ended in exhaustion: the rank hits the loop-end barrier.
 fn report_loop_end(probe: &dyn Probe, rank: WorkerId, t0: u64) {
-    probe.runtime_event(rank, RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)));
+    probe.runtime_event(
+        rank,
+        RuntimeEvent::IdleNs {
+            ns: now_ns().saturating_sub(t0),
+            cause: IdleCause::Barrier,
+        },
+    );
     probe.runtime_event(rank, RuntimeEvent::BarrierWait);
 }
 

@@ -43,6 +43,10 @@ pub(crate) struct WaitStats {
     pub spins: u64,
     /// Times the waiter actually blocked on the condvar.
     pub parks: u64,
+    /// Wall time spent in the park (slow) path, in nanoseconds. Zero
+    /// when the condition held during the spin phase — the fast path
+    /// never reads the clock.
+    pub park_ns: u64,
 }
 
 /// A condvar-backed parking spot with a spin phase in front.
@@ -76,6 +80,7 @@ impl ParkLot {
         // Park. Lock poisoning cannot occur: no user code ever runs
         // under this mutex (the critical sections below are pure
         // bookkeeping), so unwrap is safe.
+        let t0 = ezp_core::time::now_ns();
         let mut guard = self.lock.lock().unwrap();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         while !ready() {
@@ -84,6 +89,7 @@ impl ParkLot {
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
+        stats.park_ns = ezp_core::time::now_ns().saturating_sub(t0);
         stats
     }
 
@@ -107,7 +113,7 @@ mod tests {
     fn already_ready_never_parks() {
         let lot = ParkLot::new();
         let stats = lot.wait_until(|| true);
-        assert_eq!(stats, WaitStats { spins: 0, parks: 0 });
+        assert_eq!(stats, WaitStats::default());
     }
 
     #[test]
@@ -124,6 +130,8 @@ mod tests {
             lot.notify();
             let stats = h.join().unwrap();
             assert!(stats.spins > 0);
+            // a waiter that actually parked spent measurable time there
+            assert!(stats.parks == 0 || stats.park_ns > 0);
         });
     }
 

@@ -87,6 +87,11 @@ pub struct PoolSyncStats {
     pub parks: u64,
     /// Spin-phase iterations executed while waiting for an epoch.
     pub spins: u64,
+    /// Wall time spent in the park (slow) path, in nanoseconds. This is
+    /// the `cause="pool_park"` slice of idle-cause attribution: time a
+    /// thread was blocked in the kernel between regions rather than
+    /// spinning or working.
+    pub park_ns: u64,
 }
 
 struct PoolState {
@@ -110,6 +115,8 @@ struct PoolState {
     stat_parks: AtomicU64,
     /// Cumulative spin iterations across all threads and regions.
     stat_spins: AtomicU64,
+    /// Cumulative nanoseconds spent parked across all threads/regions.
+    stat_park_ns: AtomicU64,
 }
 
 impl PoolState {
@@ -122,6 +129,9 @@ impl PoolState {
         }
         if stats.parks > 0 {
             self.stat_parks.fetch_add(stats.parks, Ordering::Relaxed);
+        }
+        if stats.park_ns > 0 {
+            self.stat_park_ns.fetch_add(stats.park_ns, Ordering::Relaxed);
         }
     }
 }
@@ -149,6 +159,7 @@ impl WorkerPool {
             done: ParkLot::new(),
             stat_parks: AtomicU64::new(0),
             stat_spins: AtomicU64::new(0),
+            stat_park_ns: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|rank| {
@@ -189,6 +200,7 @@ impl WorkerPool {
         PoolSyncStats {
             parks: self.state.stat_parks.load(Ordering::Relaxed),
             spins: self.state.stat_spins.load(Ordering::Relaxed),
+            park_ns: self.state.stat_park_ns.load(Ordering::Relaxed),
         }
     }
 

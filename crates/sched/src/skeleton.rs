@@ -33,6 +33,7 @@
 //! strategy) pins at the schedule level.
 
 use crate::taskgraph::TaskGraph;
+use ezp_core::kernel::EdgeKind;
 
 /// Default bounded-buffer capacity between stages.
 pub const DEFAULT_CAPACITY: usize = 4;
@@ -140,15 +141,19 @@ impl PipeShape {
                 let id = self.node(f, s);
                 // data: the frame flows stage to stage
                 if s > 0 {
-                    g.add_dep(self.node(f, s - 1), id);
+                    g.add_dep_kind(self.node(f, s - 1), id, EdgeKind::Data);
                 }
                 // width: at most `width` frames inside the stage
                 if f >= st.width {
-                    g.add_dep(self.node(f - st.width, s), id);
+                    g.add_dep_kind(self.node(f - st.width, s), id, EdgeKind::Width);
                 }
                 // capacity: bounded buffer between s-1 and s
                 if s > 0 && f >= st.capacity {
-                    g.add_dep(self.node(f - st.capacity, s), self.node(f, s - 1));
+                    g.add_dep_kind(
+                        self.node(f - st.capacity, s),
+                        self.node(f, s - 1),
+                        EdgeKind::Capacity,
+                    );
                 }
             }
         }
@@ -219,6 +224,25 @@ mod tests {
             .map(|&t| shape.frame_of(t))
             .collect();
         assert_eq!(stage1, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edge_families_are_tagged() {
+        let shape = PipeShape::new([
+            PipeStage::farm(2).capacity(2),
+            PipeStage::serial().capacity(2),
+        ]);
+        let g = shape.graph(4);
+        let mut kinds = std::collections::BTreeMap::new();
+        g.for_each_edge(|f, t, k| {
+            kinds.insert((f, t), k);
+        });
+        // data: frame 1 flows stage 0 -> stage 1
+        assert_eq!(kinds[&(shape.node(1, 0), shape.node(1, 1))], EdgeKind::Data);
+        // width: the serial stage orders frame 1 after frame 0
+        assert_eq!(kinds[&(shape.node(0, 1), shape.node(1, 1))], EdgeKind::Width);
+        // capacity: frame 2 may not start stage 0 before frame 0 left stage 1
+        assert_eq!(kinds[&(shape.node(0, 1), shape.node(2, 0))], EdgeKind::Capacity);
     }
 
     #[test]

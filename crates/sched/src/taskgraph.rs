@@ -11,7 +11,7 @@ use crate::deque::{Steal, TaskDeque};
 use crate::park::ParkLot;
 use crate::pool::WorkerPool;
 use ezp_core::error::{Error, Result};
-use ezp_core::kernel::{NullProbe, Probe, RuntimeEvent};
+use ezp_core::kernel::{EdgeKind, IdleCause, NullProbe, Probe, RuntimeEvent};
 use ezp_core::time::now_ns;
 use ezp_core::{TileGrid, WorkerId};
 use std::collections::VecDeque;
@@ -22,6 +22,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 pub struct TaskGraph {
     /// `dependents[t]` = tasks that must wait for `t`.
     dependents: Vec<Vec<usize>>,
+    /// `kinds[t][i]` = edge family of the edge `t → dependents[t][i]`
+    /// (kept parallel to `dependents` so the hot release loop, which
+    /// only walks `dependents`, stays untouched).
+    kinds: Vec<Vec<EdgeKind>>,
     /// Number of predecessors per task.
     indegree: Vec<usize>,
 }
@@ -31,6 +35,7 @@ impl TaskGraph {
     pub fn new(n: usize) -> Self {
         TaskGraph {
             dependents: vec![Vec::new(); n],
+            kinds: vec![Vec::new(); n],
             indegree: vec![0; n],
         }
     }
@@ -46,11 +51,20 @@ impl TaskGraph {
     }
 
     /// Declares that `after` cannot start before `before` completed
-    /// (`depend(in: before) depend(inout: after)`).
+    /// (`depend(in: before) depend(inout: after)`). The edge is a
+    /// [`EdgeKind::Data`] dependency; streaming skeletons use
+    /// [`TaskGraph::add_dep_kind`] for their width/capacity families.
     pub fn add_dep(&mut self, before: usize, after: usize) {
+        self.add_dep_kind(before, after, EdgeKind::Data);
+    }
+
+    /// [`TaskGraph::add_dep`] with an explicit edge family, so traces
+    /// can distinguish true data flow from structural backpressure.
+    pub fn add_dep_kind(&mut self, before: usize, after: usize, kind: EdgeKind) {
         assert!(before < self.len() && after < self.len(), "task id out of range");
         assert_ne!(before, after, "a task cannot depend on itself");
         self.dependents[before].push(after);
+        self.kinds[before].push(kind);
         self.indegree[after] += 1;
     }
 
@@ -62,6 +76,20 @@ impl TaskGraph {
     /// Tasks that directly depend on `task` (its successors).
     pub fn dependents(&self, task: usize) -> &[usize] {
         &self.dependents[task]
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.dependents.iter().map(Vec::len).sum()
+    }
+
+    /// Visits every edge as `(before, after, kind)`, in task order.
+    pub fn for_each_edge(&self, mut f: impl FnMut(usize, usize, EdgeKind)) {
+        for t in 0..self.len() {
+            for (i, &d) in self.dependents[t].iter().enumerate() {
+                f(t, d, self.kinds[t][i]);
+            }
+        }
     }
 
     /// The down-right wavefront over a tile grid: tile `(tx, ty)` depends
@@ -185,6 +213,13 @@ impl TaskGraph {
             return Ok(());
         }
         let timed = probe.wants_runtime_events();
+        // Edge provenance for tracers: enumerate the DAG once, before
+        // any task runs, so the recorded trace is a timed graph rather
+        // than a bag of intervals. Gated separately — O(edges) work only
+        // a tracer should pay.
+        if probe.wants_dep_edges() {
+            self.for_each_edge(|from, to, kind| probe.dep_edge(from, to, kind));
+        }
         let threads = pool.threads();
         let indegree: Vec<AtomicUsize> =
             self.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
@@ -302,7 +337,13 @@ impl TaskGraph {
                             || deques.iter().any(|d| d.len_hint() > 0)
                     });
                     if timed {
-                        probe.runtime_event(rank, RuntimeEvent::IdleNs(now_ns().saturating_sub(t0)));
+                        probe.runtime_event(
+                            rank,
+                            RuntimeEvent::IdleNs {
+                                ns: now_ns().saturating_sub(t0),
+                                cause: IdleCause::DepStall,
+                            },
+                        );
                     }
                 }
             }
@@ -475,6 +516,51 @@ mod tests {
     fn self_dependency_rejected() {
         let mut g = TaskGraph::new(2);
         g.add_dep(1, 1);
+    }
+
+    #[test]
+    fn edges_carry_their_kind() {
+        let mut g = TaskGraph::new(4);
+        g.add_dep(0, 1); // defaults to Data
+        g.add_dep_kind(0, 2, EdgeKind::Width);
+        g.add_dep_kind(2, 3, EdgeKind::Capacity);
+        assert_eq!(g.edge_count(), 3);
+        let mut edges = Vec::new();
+        g.for_each_edge(|f, t, k| edges.push((f, t, k)));
+        assert_eq!(
+            edges,
+            vec![
+                (0, 1, EdgeKind::Data),
+                (0, 2, EdgeKind::Width),
+                (2, 3, EdgeKind::Capacity),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_probed_reports_edges_to_tracers() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct EdgeTracer(StdMutex<Vec<(usize, usize, EdgeKind)>>);
+        impl Probe for EdgeTracer {
+            fn dep_edge(&self, from: usize, to: usize, kind: EdgeKind) {
+                self.0.lock().unwrap().push((from, to, kind));
+            }
+            fn wants_dep_edges(&self) -> bool {
+                true
+            }
+        }
+        let grid = TileGrid::square(30, 10).unwrap(); // 3x3 tiles
+        let g = TaskGraph::down_right_wavefront(&grid);
+        let tracer = EdgeTracer::default();
+        let mut pool = WorkerPool::new(2);
+        g.run_probed(&mut pool, &tracer, |_, _| {}).unwrap();
+        let edges = tracer.0.into_inner().unwrap();
+        // 3x3 wavefront: 2 edges per inner tile boundary = 12 edges
+        assert_eq!(edges.len(), 12);
+        assert!(edges.iter().all(|&(_, _, k)| k == EdgeKind::Data));
+        assert!(edges.contains(&(0, 1, EdgeKind::Data)));
+        assert!(edges.contains(&(0, 3, EdgeKind::Data)));
     }
 
     ezp_proptest! {

@@ -193,6 +193,8 @@ mod tests {
                 mk(1, 0, 0, 100, 150), // same tile again: accumulates
                 mk(1, 48, 48, 200, 900),
             ],
+            edges: Vec::new(),
+            counters: None,
         };
         let costs = CostMap::from_trace(&trace, 1).unwrap();
         assert_eq!(costs.cost_at(0, 0), 150);

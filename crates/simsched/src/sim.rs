@@ -136,6 +136,8 @@ impl SimResult {
             },
             iterations: self.iterations.clone(),
             tasks,
+            edges: Vec::new(),
+            counters: None,
         }
     }
 

@@ -28,7 +28,8 @@
 
 use crate::pipeline::Pipeline;
 use ezp_core::error::Result;
-use ezp_core::kernel::{Probe, RuntimeEvent};
+use ezp_core::kernel::{IdleCause, Probe, RuntimeEvent};
+use ezp_core::time::now_ns;
 use ezp_core::EmitMode;
 use ezp_sched::WorkerPool;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -106,6 +107,14 @@ pub fn run_pipeline<T: Send>(
         // that makes each node runnable (data vs backpressure edge).
         let remaining: Vec<AtomicUsize> =
             (0..graph.len()).map(|t| AtomicUsize::new(graph.indegree(t))).collect();
+        // When each node's *input* became ready, so a backpressure
+        // stall can be measured as a duration (data-ready → runnable).
+        // Stage-0 nodes have no data edge: their input is ready at
+        // window start. Only maintained when the probe wants events —
+        // the clock reads are the cost.
+        let window_t0 = if want_events { now_ns() } else { 0 };
+        let data_ready: Vec<AtomicU64> =
+            (0..graph.len()).map(|_| AtomicU64::new(window_t0)).collect();
         // One payload slot per in-window frame; hand-offs are ordered
         // by graph edges, so these locks are uncontended.
         let slots: Vec<Mutex<Option<T>>> = (0..wlen).map(|_| Mutex::new(None)).collect();
@@ -191,12 +200,28 @@ pub fn run_pipeline<T: Send>(
             // made runnable by a non-data edge was stalled on
             // backpressure (width or capacity), not on its input
             for &d in graph.dependents(t) {
-                if remaining[d].fetch_sub(1, Ordering::AcqRel) == 1
-                    && !shape.is_data_edge(t, d)
-                {
+                let is_data = shape.is_data_edge(t, d);
+                if want_events && is_data {
+                    // ORDERING: Relaxed store, published by this
+                    // worker's AcqRel decrement below — the final
+                    // releaser's Acquire makes it visible.
+                    data_ready[d].store(now_ns(), Ordering::Relaxed);
+                }
+                if remaining[d].fetch_sub(1, Ordering::AcqRel) == 1 && !is_data {
                     stalls.fetch_add(1, Ordering::Relaxed);
                     if want_events {
                         probe.runtime_event(worker, RuntimeEvent::StreamStall);
+                        let waited =
+                            now_ns().saturating_sub(data_ready[d].load(Ordering::Relaxed));
+                        if waited > 0 {
+                            probe.runtime_event(
+                                worker,
+                                RuntimeEvent::IdleNs {
+                                    ns: waited,
+                                    cause: IdleCause::Backpressure,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -497,5 +522,65 @@ mod tests {
             stats.backpressure_stalls > 0,
             "tight buffer produced no stalls: {stats:?}"
         );
+    }
+
+    #[test]
+    fn backpressure_stalls_carry_idle_durations() {
+        // every StreamStall must come with a cause-tagged IdleNs so the
+        // explain layer can say *how long* frames waited on buffer space
+        struct StallWatch {
+            stall_events: AtomicU64,
+            idle_events: AtomicU64,
+            backpressure_ns: AtomicU64,
+        }
+        impl Probe for StallWatch {
+            fn runtime_event(&self, _w: ezp_core::WorkerId, ev: RuntimeEvent) {
+                match ev {
+                    RuntimeEvent::StreamStall => {
+                        self.stall_events.fetch_add(1, Ordering::Relaxed);
+                    }
+                    RuntimeEvent::IdleNs {
+                        ns,
+                        cause: IdleCause::Backpressure,
+                    } => {
+                        self.idle_events.fetch_add(1, Ordering::Relaxed);
+                        self.backpressure_ns.fetch_add(ns, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+            fn wants_runtime_events(&self) -> bool {
+                true
+            }
+        }
+        let probe = StallWatch {
+            stall_events: AtomicU64::new(0),
+            idle_events: AtomicU64::new(0),
+            backpressure_ns: AtomicU64::new(0),
+        };
+        let pipe = Pipeline::new()
+            .farm_stage("head", 4, |_, x: &mut u64| {
+                *x = (0..500).fold(*x, |a, i| a.wrapping_mul(31).wrapping_add(i))
+            })
+            .stage("tail", |_, _| {})
+            .capacity(1);
+        let mut pool = WorkerPool::new(4);
+        let stats = run_pipeline(
+            &pipe,
+            WINDOW,
+            EmitMode::Ordered,
+            &mut pool,
+            &probe,
+            |f| f as u64,
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(
+            probe.stall_events.load(Ordering::Relaxed),
+            stats.backpressure_stalls
+        );
+        if stats.backpressure_stalls > 0 {
+            assert!(probe.backpressure_ns.load(Ordering::Relaxed) > 0);
+        }
     }
 }

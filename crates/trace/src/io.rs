@@ -3,33 +3,43 @@
 //! Layout (all integers LEB128 varints unless noted):
 //!
 //! ```text
-//! magic   b"EZV\x01"                       (4 raw bytes)
+//! magic   b"EZV\x02"                       (4 raw bytes; \x01 accepted)
 //! meta    varint length + JSON bytes        (TraceMeta)
 //! iters   varint count, then per span:      iteration, start, end-start
 //! tasks   varint count, then per task:
 //!           iteration, x, y, w, h, worker,
 //!           start delta (vs previous task start), duration
+//! edges   varint count, then per edge:      from, to, kind     (v2 only)
+//! ctrs    presence flag (0/1), then varint
+//!           length + CounterSnapshot JSON                      (v2 only)
 //! ```
 //!
 //! Task starts are sorted, so delta-encoding keeps them tiny; `end` is
 //! stored as a duration for the same reason. A still-open iteration span
 //! (`end == u64::MAX`) is preserved via a 0/1 flag.
+//!
+//! Version 2 appends dependency edges and a runtime-counter snapshot.
+//! The reader accepts v1 files (yielding no edges and no counters); the
+//! writer always emits v2. Unknown versions are rejected loudly rather
+//! than misparsed.
 
 use crate::model::{Trace, TraceMeta};
 use crate::varint::{read_u64, read_usize, write_u64, write_usize};
 use ezp_core::error::{Error, Result};
 use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_monitor::report::IterationSpan;
-use ezp_monitor::TileRecord;
+use ezp_monitor::{DepEdge, TileRecord};
+use ezp_perf::CounterSnapshot;
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"EZV\x01";
+const MAGIC_V1: &[u8; 4] = b"EZV\x01";
+const MAGIC_V2: &[u8; 4] = b"EZV\x02";
 
 /// Serializes a trace to `.ezv` bytes.
 pub fn to_bytes(trace: &Trace) -> Result<Vec<u8>> {
     trace.validate()?;
     let mut out = Vec::with_capacity(64 + trace.tasks.len() * 8);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(MAGIC_V2);
 
     let meta = trace.meta.to_json().dump().into_bytes();
     write_usize(&mut out, meta.len());
@@ -68,14 +78,37 @@ pub fn to_bytes(trace: &Trace) -> Result<Vec<u8>> {
         write_u64(&mut out, t.end_ns - t.start_ns);
         prev_start = t.start_ns;
     }
+
+    write_usize(&mut out, trace.edges.len());
+    for e in &trace.edges {
+        write_usize(&mut out, e.from);
+        write_usize(&mut out, e.to);
+        write_u64(&mut out, e.kind as u64);
+    }
+
+    match &trace.counters {
+        None => write_u64(&mut out, 0),
+        Some(c) => {
+            write_u64(&mut out, 1);
+            let json = c.to_json().dump().into_bytes();
+            write_usize(&mut out, json.len());
+            out.extend_from_slice(&json);
+        }
+    }
     Ok(out)
 }
 
 /// Parses `.ezv` bytes back into a trace (validated).
 pub fn from_bytes(bytes: &[u8]) -> Result<Trace> {
     let mut buf = bytes;
-    if buf.len() < 4 || &buf[..4] != MAGIC {
+    if buf.len() < 4 || &buf[..3] != b"EZV" {
         return Err(Error::TraceFormat("bad magic (not an .ezv trace)".into()));
+    }
+    let version = buf[3];
+    if &buf[..4] != MAGIC_V1 && &buf[..4] != MAGIC_V2 {
+        return Err(Error::TraceFormat(format!(
+            "unsupported .ezv version {version} (this build reads v1 and v2)"
+        )));
     }
     buf = &buf[4..];
 
@@ -141,6 +174,45 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Trace> {
             worker,
         });
     }
+    let mut edges = Vec::new();
+    let mut counters = None;
+    if version >= 2 {
+        let edge_count = read_usize(&mut buf)?;
+        edges.reserve(edge_count.min(1 << 20));
+        for _ in 0..edge_count {
+            let from = read_usize(&mut buf)?;
+            let to = read_usize(&mut buf)?;
+            let kind = read_u64(&mut buf)?;
+            if kind > u8::MAX as u64 {
+                return Err(Error::TraceFormat(format!("bad edge kind {kind}")));
+            }
+            edges.push(DepEdge {
+                from,
+                to,
+                kind: kind as u8,
+            });
+        }
+        match read_u64(&mut buf)? {
+            0 => {}
+            1 => {
+                let len = read_usize(&mut buf)?;
+                if buf.len() < len {
+                    return Err(Error::TraceFormat("truncated counter snapshot".into()));
+                }
+                let text = std::str::from_utf8(&buf[..len]).map_err(|e| {
+                    Error::TraceFormat(format!("counter snapshot is not UTF-8: {e}"))
+                })?;
+                let snap = Json::parse(text)
+                    .and_then(|v| CounterSnapshot::from_json(&v))
+                    .map_err(|e| Error::TraceFormat(format!("bad counter JSON: {e}")))?;
+                buf = &buf[len..];
+                counters = Some(snap);
+            }
+            other => {
+                return Err(Error::TraceFormat(format!("bad counter flag {other}")));
+            }
+        }
+    }
     if !buf.is_empty() {
         return Err(Error::TraceFormat(format!(
             "{} trailing bytes after trace",
@@ -151,6 +223,8 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Trace> {
         meta,
         iterations,
         tasks,
+        edges,
+        counters,
     };
     trace.validate()?;
     Ok(trace)
@@ -228,6 +302,31 @@ mod tests {
                 mk(2, 0, 16, 505, 800, 1),
                 mk(2, 16, 16, 510, 620, 0),
             ],
+            edges: vec![
+                DepEdge {
+                    from: 0,
+                    to: 1,
+                    kind: 0,
+                },
+                DepEdge {
+                    from: 1,
+                    to: 2,
+                    kind: 1,
+                },
+                DepEdge {
+                    from: 0,
+                    to: 4,
+                    kind: 2,
+                },
+            ],
+            counters: Some({
+                let mut set = ezp_perf::CounterSet::new(3);
+                let c = set.register("tasks_executed");
+                for w in 0..3 {
+                    set.add(c, w, 1 + w as u64);
+                }
+                set.snapshot()
+            }),
         }
     }
 
@@ -267,6 +366,79 @@ mod tests {
     }
 
     #[test]
+    fn unknown_version_rejected_with_a_clear_error() {
+        let mut bytes = to_bytes(&sample()).unwrap();
+        bytes[3] = 3; // a future EZV\x03
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported .ezv version 3"),
+            "unexpected error: {err}"
+        );
+        bytes[3] = 0;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    /// Encodes `t` exactly as the v1 writer did: v1 magic, no edge
+    /// section, no counter section.
+    fn to_bytes_v1(t: &Trace) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V1);
+        let meta = t.meta.to_json().dump().into_bytes();
+        write_usize(&mut out, meta.len());
+        out.extend_from_slice(&meta);
+        write_usize(&mut out, t.iterations.len());
+        for s in &t.iterations {
+            write_u64(&mut out, s.iteration as u64);
+            write_u64(&mut out, s.start_ns);
+            if s.end_ns == u64::MAX {
+                write_u64(&mut out, 0);
+            } else {
+                write_u64(&mut out, 1);
+                write_u64(&mut out, s.end_ns - s.start_ns);
+            }
+        }
+        write_usize(&mut out, t.tasks.len());
+        let mut prev_start = 0u64;
+        for task in &t.tasks {
+            write_u64(&mut out, task.iteration as u64);
+            write_usize(&mut out, task.x);
+            write_usize(&mut out, task.y);
+            write_usize(&mut out, task.w);
+            write_usize(&mut out, task.h);
+            write_usize(&mut out, task.worker);
+            let (sign, delta) = if task.start_ns >= prev_start {
+                (0u64, task.start_ns - prev_start)
+            } else {
+                (1u64, prev_start - task.start_ns)
+            };
+            write_u64(&mut out, sign);
+            write_u64(&mut out, delta);
+            write_u64(&mut out, task.end_ns - task.start_ns);
+            prev_start = task.start_ns;
+        }
+        out
+    }
+
+    #[test]
+    fn v1_traces_still_load() {
+        let mut expect = sample();
+        expect.edges.clear();
+        expect.counters = None;
+        let bytes = to_bytes_v1(&expect);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn counterless_v2_round_trips() {
+        let mut t = sample();
+        t.counters = None;
+        let back = from_bytes(&to_bytes(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+        assert!(back.counters.is_none());
+    }
+
+    #[test]
     fn truncation_rejected_everywhere() {
         let bytes = to_bytes(&sample()).unwrap();
         // cutting the stream at any point must fail, never panic
@@ -301,7 +473,7 @@ mod tests {
     ezp_proptest! {
         #![cases(64)]
 
-        fn prop_round_trip(n_tasks in 0usize..40, seed in any_u64()) {
+        fn prop_round_trip(n_tasks in 0usize..40, n_edges in 0usize..24, seed in any_u64()) {
             // build a sorted, valid task list from the seed
             let mut state = seed;
             let mut next = || {
@@ -327,6 +499,25 @@ mod tests {
             let iterations = (1..=tasks.last().map(|t| t.iteration).unwrap_or(0))
                 .map(|it| IterationSpan { iteration: it, start_ns: it as u64, end_ns: it as u64 + 10 })
                 .collect();
+            // random (but valid: no self-loop, known kind) edge records
+            let edges = (0..n_edges)
+                .map(|_| {
+                    let from = (next() % 256) as usize;
+                    DepEdge {
+                        from,
+                        to: from + 1 + (next() % 64) as usize,
+                        kind: (next() % 3) as u8,
+                    }
+                })
+                .collect();
+            let counters = if seed % 2 == 0 {
+                let mut set = ezp_perf::CounterSet::new(2);
+                let c = set.register("chunks_served");
+                set.add(c, 0, next());
+                Some(set.snapshot())
+            } else {
+                None
+            };
             let t = Trace {
                 meta: TraceMeta {
                     kernel: "k".into(), variant: "v".into(), dim: 64, tile_size: 16,
@@ -334,6 +525,8 @@ mod tests {
                 },
                 iterations,
                 tasks,
+                edges,
+                counters,
             };
             let back = from_bytes(&to_bytes(&t).unwrap()).unwrap();
             assert_eq!(back, t);

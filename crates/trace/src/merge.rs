@@ -64,6 +64,17 @@ pub fn merge_ranks(traces: &[Trace]) -> Result<Trace> {
     }
     tasks.sort_by_key(|t| (t.iteration, t.start_ns));
 
+    // edges reference grid task ids (shared geometry), so the union
+    // dedups structural edges all ranks reported
+    let edge_set: std::collections::BTreeSet<_> = traces
+        .iter()
+        .flat_map(|t| t.edges.iter().map(|e| (e.from, e.to, e.kind)))
+        .collect();
+    let edges = edge_set
+        .into_iter()
+        .map(|(from, to, kind)| ezp_monitor::DepEdge { from, to, kind })
+        .collect();
+
     let merged = Trace {
         meta: TraceMeta {
             kernel: first.meta.kernel.clone(),
@@ -76,6 +87,10 @@ pub fn merge_ranks(traces: &[Trace]) -> Result<Trace> {
         },
         iterations: spans.into_values().collect(),
         tasks,
+        edges,
+        // per-rank counter snapshots have different worker counts and
+        // cannot be meaningfully concatenated; merged traces carry none
+        counters: None,
     };
     merged.validate()?;
     Ok(merged)
@@ -115,6 +130,8 @@ mod tests {
                     worker: w,
                 })
                 .collect(),
+            edges: Vec::new(),
+            counters: None,
         }
     }
 
@@ -170,6 +187,43 @@ mod tests {
         r1.meta.tile_size = 8;
         assert!(merge_ranks(&[r0, r1]).is_err());
         assert!(merge_ranks(&[]).is_err());
+    }
+
+    #[test]
+    fn edges_are_unioned_and_counters_dropped() {
+        use ezp_monitor::DepEdge;
+        let mut set = ezp_perf::CounterSet::new(1);
+        set.register("tasks_executed");
+        let mut r0 = rank_trace(1, vec![(1, 0, 0, 0, 10, 0)]);
+        r0.edges = vec![
+            DepEdge {
+                from: 0,
+                to: 1,
+                kind: 0,
+            },
+            DepEdge {
+                from: 1,
+                to: 2,
+                kind: 0,
+            },
+        ];
+        r0.counters = Some(set.snapshot());
+        let mut r1 = rank_trace(1, vec![(1, 0, 32, 0, 12, 0)]);
+        r1.edges = vec![
+            DepEdge {
+                from: 1,
+                to: 2,
+                kind: 0,
+            }, // duplicate of r0's
+            DepEdge {
+                from: 2,
+                to: 3,
+                kind: 1,
+            },
+        ];
+        let merged = merge_ranks(&[r0, r1]).unwrap();
+        assert_eq!(merged.edges.len(), 3);
+        assert!(merged.counters.is_none());
     }
 
     #[test]

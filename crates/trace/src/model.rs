@@ -4,7 +4,8 @@ use ezp_core::error::{Error, Result};
 use ezp_core::json::{FromJson, Json, ToJson};
 use ezp_core::{RunConfig, TileGrid};
 use ezp_monitor::report::IterationSpan;
-use ezp_monitor::{MonitorReport, TileRecord};
+use ezp_monitor::{DepEdge, MonitorReport, TileRecord};
+use ezp_perf::CounterSnapshot;
 
 /// Run metadata carried in the trace header, so that EASYVIEW can label
 /// windows and rebuild the tile grid without the original command line.
@@ -84,6 +85,12 @@ pub struct Trace {
     pub iterations: Vec<IterationSpan>,
     /// Task (tile) events sorted by `(iteration, start_ns)`.
     pub tasks: Vec<TileRecord>,
+    /// Dependency edges between task ids (format v2; empty for v1
+    /// traces and loop-scheduled runs, which have no explicit graph).
+    pub edges: Vec<DepEdge>,
+    /// Runtime counters recorded alongside the run (format v2; `None`
+    /// for v1 traces and merged multi-rank traces).
+    pub counters: Option<CounterSnapshot>,
 }
 
 impl Trace {
@@ -93,7 +100,16 @@ impl Trace {
             meta,
             iterations: report.iterations.clone(),
             tasks: report.records.clone(),
+            edges: report.edges.clone(),
+            counters: None,
         }
+    }
+
+    /// The same trace carrying a runtime-counter snapshot (builder
+    /// style, so `from_report` keeps its signature).
+    pub fn with_counters(mut self, counters: CounterSnapshot) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     /// Re-materializes a [`MonitorReport`] (the analysis entry point) so
@@ -104,7 +120,8 @@ impl Trace {
             self.meta.grid()?,
             self.iterations.clone(),
             self.tasks.clone(),
-        ))
+        )
+        .with_edges(self.edges.clone()))
     }
 
     /// Number of recorded iterations.
@@ -176,17 +193,40 @@ impl Trace {
                 return Err(Error::TraceFormat("iteration spans are not sorted".into()));
             }
         }
+        for e in &self.edges {
+            if e.edge_kind().is_none() {
+                return Err(Error::TraceFormat(format!(
+                    "edge {} -> {} has unknown kind {}",
+                    e.from, e.to, e.kind
+                )));
+            }
+            if e.from == e.to {
+                return Err(Error::TraceFormat(format!(
+                    "edge {} -> {} is a self-loop",
+                    e.from, e.to
+                )));
+            }
+        }
         Ok(())
     }
 }
 
 impl ToJson for Trace {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("meta", self.meta.to_json()),
             ("iterations", self.iterations.to_json()),
             ("tasks", self.tasks.to_json()),
-        ])
+        ];
+        // v2 sections stay out of the JSON when absent, so v1 JSON
+        // dumps keep byte-for-byte compatibility.
+        if !self.edges.is_empty() {
+            pairs.push(("edges", self.edges.to_json()));
+        }
+        if let Some(c) = &self.counters {
+            pairs.push(("counters", c.to_json()));
+        }
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 }
 
@@ -196,6 +236,14 @@ impl FromJson for Trace {
             meta: v.field("meta")?,
             iterations: v.field("iterations")?,
             tasks: v.field("tasks")?,
+            edges: match v.get("edges") {
+                Some(e) => FromJson::from_json(e)?,
+                None => Vec::new(),
+            },
+            counters: match v.get("counters") {
+                Some(c) => Some(FromJson::from_json(c)?),
+                None => None,
+            },
         })
     }
 }
@@ -203,6 +251,7 @@ impl FromJson for Trace {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
+    use ezp_core::kernel::EdgeKind;
 
     pub(crate) fn sample_trace() -> Trace {
         let meta = TraceMeta {
@@ -244,6 +293,19 @@ pub(crate) mod tests {
                 mk(2, 0, 16, 105, 190, 0),
                 mk(2, 16, 16, 110, 215, 1),
             ],
+            edges: vec![
+                DepEdge {
+                    from: 0,
+                    to: 4,
+                    kind: EdgeKind::Data.as_u8(),
+                },
+                DepEdge {
+                    from: 1,
+                    to: 5,
+                    kind: EdgeKind::Width.as_u8(),
+                },
+            ],
+            counters: None,
         }
     }
 
@@ -301,6 +363,52 @@ pub(crate) mod tests {
         let mut bad = sample_trace();
         bad.iterations.swap(0, 1);
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_edges() {
+        let mut bad = sample_trace();
+        bad.edges[0].kind = 7;
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample_trace();
+        bad.edges[0].to = bad.edges[0].from;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn edges_survive_the_report_round_trip() {
+        let t = sample_trace();
+        let report = t.to_report().unwrap();
+        assert_eq!(report.edges, t.edges);
+        let back = Trace::from_report(t.meta.clone(), &report);
+        assert_eq!(back.edges, t.edges);
+    }
+
+    #[test]
+    fn v1_json_without_edges_or_counters_still_parses() {
+        // a v1 producer never wrote "edges"/"counters"; reading its JSON
+        // must yield an empty edge list and no counters
+        let mut t = sample_trace();
+        t.edges.clear();
+        let dump = t.to_json().dump();
+        assert!(!dump.contains("\"edges\""));
+        assert!(!dump.contains("\"counters\""));
+        let back = Trace::from_json(&Json::parse(&dump).unwrap()).unwrap();
+        assert!(back.edges.is_empty());
+        assert!(back.counters.is_none());
+    }
+
+    #[test]
+    fn counters_ride_along_in_json() {
+        let mut set = ezp_perf::CounterSet::new(1);
+        let id = set.register("tasks_executed");
+        set.add(id, 0, 7);
+        let t = sample_trace().with_counters(set.snapshot());
+        let dump = t.to_json().dump();
+        let back = Trace::from_json(&Json::parse(&dump).unwrap()).unwrap();
+        assert_eq!(back.counters.unwrap().total("tasks_executed"), 7);
+        assert_eq!(back.edges, t.edges);
     }
 
     #[test]

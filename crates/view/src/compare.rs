@@ -177,6 +177,8 @@ mod tests {
                 end_ns: t,
             }],
             tasks,
+            edges: Vec::new(),
+            counters: None,
         }
     }
 

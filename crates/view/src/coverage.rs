@@ -165,6 +165,8 @@ mod tests {
                 end_ns: 100,
             }],
             tasks,
+            edges: Vec::new(),
+            counters: None,
         }
     }
 

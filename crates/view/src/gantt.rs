@@ -210,6 +210,8 @@ mod tests {
                 mk(2, 32, 110, 160, 0),
                 mk(2, 48, 120, 130, 1),
             ],
+            edges: Vec::new(),
+            counters: None,
         }
     }
 

@@ -15,7 +15,10 @@
 //!   per-iteration speedups, task-duration ratios (the ×10 inner-tile
 //!   observation);
 //! * [`patterns`] — the Fig. 8 analyzers: same-worker stripes and cyclic
-//!   distribution detection in tiling snapshots.
+//!   distribution detection in tiling snapshots;
+//! * [`explain`] — causal profiling: work/span bounds, critical path,
+//!   per-task slack, idle-cause breakdown, virtual scaling replay and a
+//!   rule-based bottleneck advisor.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -23,11 +26,13 @@
 
 pub mod compare;
 pub mod coverage;
+pub mod explain;
 pub mod gantt;
 pub mod patterns;
 pub mod stats;
 
 pub use compare::TraceComparison;
 pub use coverage::CoverageMap;
+pub use explain::{explain, ExplainReport};
 pub use gantt::GanttModel;
 pub use stats::DurationStats;

@@ -174,6 +174,8 @@ mod tests {
                 end_ns: t,
             }],
             tasks,
+            edges: Vec::new(),
+            counters: None,
         }
     }
 
