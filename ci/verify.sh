@@ -131,6 +131,55 @@ else
 fi
 rm -f "$stream_json"
 
+# Channel bench gate (docs/channels.md): ring vs std::sync::mpsc. Two
+# checks: the ring/mpsc throughput *ratio* per shape must not regress
+# >20% vs the committed baseline (self-normalizing against host speed),
+# and the ring must stay ahead of the mpsc baseline outright on both
+# SPSC shapes — the crate's reason to exist.
+chan_json="$(mktemp)"
+EZP_BENCH_SMOKE=1 EZP_BENCH_JSON="$chan_json" \
+    cargo bench -q --offline -p ezp-bench --bench chan >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$chan_json" ci/BENCH_chan.json <<'EOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = 0.8  # fail on >20% regression vs the committed baseline ratio
+failed = False
+for metric in ("spsc_inline_msgs_per_sec", "spsc_threaded_msgs_per_sec"):
+    cr = cur["ring"][metric] / cur["mpsc_baseline"][metric]
+    br = base["ring"][metric] / base["mpsc_baseline"][metric]
+    status = "ok"
+    if cr < tol * br:
+        status = "REGRESSION"
+        failed = True
+    if cr < 1.0:
+        status = "SLOWER THAN MPSC"
+        failed = True
+    print(f"verify: bench chan {metric} ring/mpsc "
+          f"{cr:.2f}x (baseline {br:.2f}x) {status}")
+for i, t in enumerate(base["threads"]):
+    cr = cur["ring"]["mpmc_msgs_per_sec"][i] / cur["mpsc_baseline"]["mpmc_msgs_per_sec"][i]
+    br = base["ring"]["mpmc_msgs_per_sec"][i] / base["mpsc_baseline"]["mpmc_msgs_per_sec"][i]
+    status = "ok"
+    if cr < tol * br:
+        status = "REGRESSION"
+        failed = True
+    print(f"verify: bench chan mpmc @{t}p ring/mpsc "
+          f"{cr:.2f}x (baseline {br:.2f}x) {status}")
+if failed:
+    sys.exit("verify: chan bench regressed vs ci/BENCH_chan.json")
+print("verify: chan bench within 20% of committed baseline ratios, ring ahead on SPSC")
+EOF
+else
+    for key in spsc_inline_msgs_per_sec spsc_threaded_msgs_per_sec \
+               mpmc_msgs_per_sec ring mpsc_baseline; do
+        grep -q "\"$key\"" "$chan_json"
+    done
+    echo "verify: chan bench JSON OK (grep fallback, no ratio diff)"
+fi
+rm -f "$chan_json"
+
 # Observability smoke test: a real run must emit a parseable JSON stats
 # report with a non-zero task count (the --stats pipeline end to end).
 stats_dir="$(mktemp -d)"
@@ -226,6 +275,25 @@ stream_dir="$(mktemp -d)"
     grep -A2 '"name": *"frames_emitted"' stream_stats.json \
         | grep -qE '"total": *16'
     echo "verify: streaming smoke OK (16 frames, counters present)"
+
+    # Channel lane (docs/channels.md): the emission channel's counters
+    # must ride the same stats report — 16 frames through the channel —
+    # and the backend/wait-policy knobs must actually take effect.
+    for counter in chan_sends chan_recvs chan_full_stalls chan_empty_stalls; do
+        grep -q "\"name\": *\"$counter\"" stream_stats.json || {
+            echo "error: channel counter $counter missing from --stats=json" >&2
+            exit 1
+        }
+    done
+    grep -A2 '"name": *"chan_sends"' stream_stats.json \
+        | grep -qE '"total": *16'
+    grep -q "emission channel (Ring/Park)" stream_run.out
+    "$OLDPWD/target/release/easypap" --kernel mandel_zoom --stream=16 \
+        --threads 2 --farm-width 2 --size 32 --no-display \
+        --chan-backend=mpsc --wait-policy=yield --stats > chan_run.out
+    grep -q "16 frames streamed" chan_run.out
+    grep -q "emission channel (Mpsc/Yield): 16 sends, 16 recvs" chan_run.out
+    echo "verify: channel smoke OK (chan counters in stats, knobs take effect)"
 )
 rm -rf "$stream_dir"
 

@@ -1,0 +1,75 @@
+//! Channel error types, mirroring `std::sync::mpsc`'s shapes so call
+//! sites migrate mechanically. Manual `Debug`/`Display` impls avoid a
+//! `T: Debug` bound (the payload is returned, not printed).
+
+use std::fmt;
+
+/// `try_send` failed; the item is handed back.
+pub enum TrySendError<T> {
+    /// The channel is at capacity right now.
+    Full(T),
+    /// Every receiver is gone; the item can never be delivered.
+    Closed(T),
+}
+
+/// `send` failed because every receiver is gone; the item is handed
+/// back.
+pub struct SendError<T>(pub T);
+
+/// `try_recv` found nothing to return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is empty right now but senders remain.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Closed,
+}
+
+/// `recv` failed: the channel is empty and every sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Closed(_) => f.write_str("Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("channel full"),
+            TrySendError::Closed(_) => f.write_str("channel closed"),
+        }
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel closed")
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel empty"),
+            TryRecvError::Closed => f.write_str("channel closed"),
+        }
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel closed")
+    }
+}

@@ -1,0 +1,85 @@
+//! Channel activity counters, shared by both endpoints of a channel.
+//!
+//! Every channel — ring-backed or the `std::sync::mpsc` baseline —
+//! carries one [`ChanCounters`] block; [`ChanStats`] is the plain
+//! snapshot handed to callers, who typically forward it as a
+//! `RuntimeEvent::ChanOps` delta into the perf layer. Stall counts
+//! tally *episodes* (one per time an endpoint found the channel
+//! full/empty and had to wait), not retries inside a wait.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of one channel. All updates are `Relaxed`: these are
+/// statistics only — no other memory is published through them.
+#[derive(Debug, Default)]
+pub(crate) struct ChanCounters {
+    pub(crate) sends: AtomicU64,
+    pub(crate) recvs: AtomicU64,
+    pub(crate) full_stalls: AtomicU64,
+    pub(crate) empty_stalls: AtomicU64,
+    pub(crate) stall_ns: AtomicU64,
+}
+
+impl ChanCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        // ORDERING: Relaxed — pure statistic, never synchronizes data.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_stall_ns(&self, ns: u64) {
+        // ORDERING: Relaxed — pure statistic, never synchronizes data.
+        self.stall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ChanStats {
+        ChanStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            full_stalls: self.full_stalls.load(Ordering::Relaxed),
+            empty_stalls: self.empty_stalls.load(Ordering::Relaxed),
+            stall_ns: self.stall_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of a channel's activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChanStats {
+    /// Items successfully sent.
+    pub sends: u64,
+    /// Items successfully received.
+    pub recvs: u64,
+    /// Times a sender found the channel full and had to wait (episodes,
+    /// not retries).
+    pub full_stalls: u64,
+    /// Times a receiver found the channel empty and had to wait
+    /// (episodes, not retries).
+    pub empty_stalls: u64,
+    /// Wall time spent inside stall episodes, in nanoseconds.
+    pub stall_ns: u64,
+}
+
+impl ChanStats {
+    /// `self - earlier`, saturating: the delta between two snapshots of
+    /// the same channel.
+    pub fn delta_since(&self, earlier: &ChanStats) -> ChanStats {
+        ChanStats {
+            sends: self.sends.saturating_sub(earlier.sends),
+            recvs: self.recvs.saturating_sub(earlier.recvs),
+            full_stalls: self.full_stalls.saturating_sub(earlier.full_stalls),
+            empty_stalls: self.empty_stalls.saturating_sub(earlier.empty_stalls),
+            stall_ns: self.stall_ns.saturating_sub(earlier.stall_ns),
+        }
+    }
+
+    /// Component-wise sum, for merging stats across several channels.
+    pub fn merge(&self, other: &ChanStats) -> ChanStats {
+        ChanStats {
+            sends: self.sends + other.sends,
+            recvs: self.recvs + other.recvs,
+            full_stalls: self.full_stalls + other.full_stalls,
+            empty_stalls: self.empty_stalls + other.empty_stalls,
+            stall_ns: self.stall_ns + other.stall_ns,
+        }
+    }
+}

@@ -209,11 +209,12 @@ fn run_stream(cfg: RunConfig) -> Result<String> {
         None => Arc::new(NullProbe),
     };
     let sw = ezp_core::time::Stopwatch::start();
-    let (outputs, stats) = kernel.run(
+    let (outputs, stats) = kernel.run_tuned(
         cfg.dim,
         frames,
         cfg.stream_mode,
         farm_width,
+        cfg.chan_tuning(),
         &mut pool,
         &*probe,
     )?;
@@ -233,6 +234,17 @@ fn run_stream(cfg: RunConfig) -> Result<String> {
         stats.max_reorder_depth,
         stats.max_stage_occupancy,
         stats.backpressure_stalls
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "emission channel ({:?}/{:?}): {} sends, {} recvs, {} full stalls, {} empty stalls",
+        cfg.chan_backend,
+        cfg.wait_policy,
+        stats.chan_sends,
+        stats.chan_recvs,
+        stats.chan_full_stalls,
+        stats.chan_empty_stalls
     )
     .unwrap();
     observability_tail(&mut out, &cfg, None, perf.as_ref(), Vec::new())?;

@@ -27,6 +27,7 @@ pub mod img;
 pub mod json;
 pub mod kernel;
 pub mod log;
+pub mod park;
 pub mod params;
 pub mod perf;
 pub mod registry;
@@ -40,7 +41,7 @@ pub use error::{Error, Result};
 pub use grid::{Tile, TileGrid};
 pub use img::{Img2D, ImagePair};
 pub use kernel::{Kernel, KernelCtx};
-pub use params::{EmitMode, RunConfig, Schedule};
+pub use params::{ChanBackendKind, ChanTuning, EmitMode, RunConfig, Schedule, WaitPolicy};
 pub use registry::Registry;
 
 /// Rank of a worker thread (0-based), mirroring `omp_get_thread_num()` in

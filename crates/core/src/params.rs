@@ -172,6 +172,109 @@ impl std::fmt::Display for EmitMode {
     }
 }
 
+/// What a channel endpoint does when it cannot make progress (ring
+/// full on send, ring empty on receive).
+///
+/// The shared vocabulary between `ezp-chan` and the CLI (`--wait-policy`):
+/// `Spin` burns cycles for minimum latency (with a periodic yield escape
+/// hatch so oversubscribed hosts stay live), `Yield` releases the CPU
+/// every iteration, `Park` spins briefly then blocks on a
+/// `ParkLot`-style condvar (lowest CPU waste, a wakeup syscall on the
+/// state change). Tradeoffs are discussed in `docs/channels.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Busy-wait with `spin_loop` hints (plus a rare yield).
+    Spin,
+    /// `yield_now` between every recheck.
+    Yield,
+    /// Spin briefly, then park on a condvar until notified.
+    #[default]
+    Park,
+}
+
+impl WaitPolicy {
+    /// Parses the value of `--wait-policy=<policy>`.
+    pub fn parse(s: &str) -> Result<WaitPolicy> {
+        match s {
+            "spin" => Ok(WaitPolicy::Spin),
+            "yield" => Ok(WaitPolicy::Yield),
+            "park" => Ok(WaitPolicy::Park),
+            other => Err(Error::Config(format!(
+                "--wait-policy: unknown policy `{other}` (expected spin, yield or park)"
+            ))),
+        }
+    }
+
+    /// Every policy, for exhaustive sweeps (conformance matrix, benches).
+    pub fn all() -> [WaitPolicy; 3] {
+        [WaitPolicy::Spin, WaitPolicy::Yield, WaitPolicy::Park]
+    }
+}
+
+impl std::fmt::Display for WaitPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WaitPolicy::Spin => "spin",
+            WaitPolicy::Yield => "yield",
+            WaitPolicy::Park => "park",
+        })
+    }
+}
+
+/// Which channel substrate carries inter-thread messages
+/// (`--chan-backend`): `ezp-chan`'s lock-free ring, or `std::sync::mpsc`
+/// kept as the reference baseline. Every consumer of the
+/// `ezp_chan::ChanSender`/`ChanReceiver` traits accepts either, so the
+/// two stay behaviorally interchangeable (asserted byte-for-byte by the
+/// streaming conformance matrix).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChanBackendKind {
+    /// Bounded lock-free SPSC rings (MPMC = one ring per producer).
+    #[default]
+    Ring,
+    /// `std::sync::mpsc` — the pre-`ezp-chan` baseline.
+    Mpsc,
+}
+
+impl ChanBackendKind {
+    /// Parses the value of `--chan-backend=<backend>`.
+    pub fn parse(s: &str) -> Result<ChanBackendKind> {
+        match s {
+            "ring" => Ok(ChanBackendKind::Ring),
+            "mpsc" => Ok(ChanBackendKind::Mpsc),
+            other => Err(Error::Config(format!(
+                "--chan-backend: unknown backend `{other}` (expected ring or mpsc)"
+            ))),
+        }
+    }
+
+    /// Every backend, for exhaustive sweeps (conformance matrix, benches).
+    pub fn all() -> [ChanBackendKind; 2] {
+        [ChanBackendKind::Ring, ChanBackendKind::Mpsc]
+    }
+}
+
+impl std::fmt::Display for ChanBackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChanBackendKind::Ring => "ring",
+            ChanBackendKind::Mpsc => "mpsc",
+        })
+    }
+}
+
+/// The channel knobs of a run, bundled so APIs that thread them through
+/// (streaming kernels, the pipeline engine) take one argument instead of
+/// two loose enums.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChanTuning {
+    /// Channel substrate (`--chan-backend`).
+    pub backend: ChanBackendKind,
+    /// Behavior when a channel operation cannot progress
+    /// (`--wait-policy`).
+    pub policy: WaitPolicy,
+}
+
 /// Fully parsed run configuration — the Rust face of the `easypap`
 /// command line plus the OpenMP ICVs (`OMP_NUM_THREADS`, `OMP_SCHEDULE`).
 #[derive(Clone, Debug, PartialEq)]
@@ -234,6 +337,11 @@ pub struct RunConfig {
     /// `--stream-mode ordered|unordered`: output ordering of a
     /// streaming run.
     pub stream_mode: EmitMode,
+    /// `--wait-policy spin|yield|park`: what channel endpoints do when
+    /// they cannot progress.
+    pub wait_policy: WaitPolicy,
+    /// `--chan-backend ring|mpsc`: the channel substrate messages ride.
+    pub chan_backend: ChanBackendKind,
 }
 
 impl Default for RunConfig {
@@ -263,6 +371,8 @@ impl Default for RunConfig {
             farm_width: 0,
             stage_widths: Vec::new(),
             stream_mode: EmitMode::Ordered,
+            wait_policy: WaitPolicy::Park,
+            chan_backend: ChanBackendKind::Ring,
         }
     }
 }
@@ -375,6 +485,12 @@ impl RunConfig {
                 }
                 "--stages" => cfg.stage_widths = parse_stages(&need_value(&mut it, arg)?)?,
                 "--stream-mode" => cfg.stream_mode = EmitMode::parse(&need_value(&mut it, arg)?)?,
+                "--wait-policy" => {
+                    cfg.wait_policy = WaitPolicy::parse(&need_value(&mut it, arg)?)?;
+                }
+                "--chan-backend" => {
+                    cfg.chan_backend = ChanBackendKind::parse(&need_value(&mut it, arg)?)?;
+                }
                 other => {
                     // `--opt=value` spellings of the options above
                     if let Some(fmt) = other.strip_prefix("--stats=") {
@@ -387,6 +503,10 @@ impl RunConfig {
                         cfg.stage_widths = parse_stages(list)?;
                     } else if let Some(mode) = other.strip_prefix("--stream-mode=") {
                         cfg.stream_mode = EmitMode::parse(mode)?;
+                    } else if let Some(policy) = other.strip_prefix("--wait-policy=") {
+                        cfg.wait_policy = WaitPolicy::parse(policy)?;
+                    } else if let Some(backend) = other.strip_prefix("--chan-backend=") {
+                        cfg.chan_backend = ChanBackendKind::parse(backend)?;
                     } else {
                         return Err(Error::Config(format!("unknown option `{other}`")));
                     }
@@ -434,7 +554,27 @@ impl RunConfig {
                 "--farm-width/--stages/--stream-mode require --stream=N".into(),
             ));
         }
+        if self.stream_frames.is_none()
+            && (self.wait_policy != WaitPolicy::default()
+                || self.chan_backend != ChanBackendKind::default())
+        {
+            // channel knobs only steer the streaming frame driver today;
+            // rejecting them elsewhere keeps "accepted flag == effective
+            // flag" true
+            return Err(Error::Config(
+                "--wait-policy/--chan-backend require --stream=N".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The channel knobs of this run, bundled for APIs that take a
+    /// [`ChanTuning`].
+    pub fn chan_tuning(&self) -> ChanTuning {
+        ChanTuning {
+            backend: self.chan_backend,
+            policy: self.wait_policy,
+        }
     }
 
     /// The tile grid implied by `--size` and `--tile-size`.
@@ -702,6 +842,73 @@ mod tests {
             assert_eq!(EmitMode::parse(&m.to_string()).unwrap(), m);
         }
         assert!(EmitMode::parse("diagonal").is_err());
+    }
+
+    #[test]
+    fn chan_options_parse_in_both_spellings() {
+        let cfg = RunConfig::parse_args([
+            "--kernel",
+            "mandel_zoom",
+            "--stream",
+            "8",
+            "--wait-policy",
+            "spin",
+            "--chan-backend",
+            "mpsc",
+        ])
+        .unwrap();
+        assert_eq!(cfg.wait_policy, WaitPolicy::Spin);
+        assert_eq!(cfg.chan_backend, ChanBackendKind::Mpsc);
+        assert_eq!(
+            cfg.chan_tuning(),
+            ChanTuning {
+                backend: ChanBackendKind::Mpsc,
+                policy: WaitPolicy::Spin
+            }
+        );
+
+        let cfg = RunConfig::parse_args([
+            "--kernel",
+            "mandel_zoom",
+            "--stream=8",
+            "--wait-policy=yield",
+            "--chan-backend=ring",
+        ])
+        .unwrap();
+        assert_eq!(cfg.wait_policy, WaitPolicy::Yield);
+        assert_eq!(cfg.chan_backend, ChanBackendKind::Ring);
+    }
+
+    #[test]
+    fn chan_options_validate() {
+        // channel knobs without --stream
+        assert!(RunConfig::parse_args(["--kernel", "x", "--wait-policy=spin"]).is_err());
+        assert!(RunConfig::parse_args(["--kernel", "x", "--chan-backend=mpsc"]).is_err());
+        // malformed values
+        assert!(
+            RunConfig::parse_args(["--kernel", "x", "--stream=4", "--wait-policy=block"]).is_err()
+        );
+        assert!(
+            RunConfig::parse_args(["--kernel", "x", "--stream=4", "--chan-backend=flume"])
+                .is_err()
+        );
+        // defaults: park waits on the ring backend
+        let plain = RunConfig::parse_args(["--kernel", "x"]).unwrap();
+        assert_eq!(plain.wait_policy, WaitPolicy::Park);
+        assert_eq!(plain.chan_backend, ChanBackendKind::Ring);
+        assert_eq!(plain.chan_tuning(), ChanTuning::default());
+    }
+
+    #[test]
+    fn chan_enums_round_trip_through_display() {
+        for p in WaitPolicy::all() {
+            assert_eq!(WaitPolicy::parse(&p.to_string()).unwrap(), p);
+        }
+        assert!(WaitPolicy::parse("busy").is_err());
+        for b in ChanBackendKind::all() {
+            assert_eq!(ChanBackendKind::parse(&b.to_string()).unwrap(), b);
+        }
+        assert!(ChanBackendKind::parse("crossbeam").is_err());
     }
 
     #[test]

@@ -38,7 +38,7 @@ const YIELD_SHIFT: u32 = 3;
 
 /// Waiting activity of one [`ParkLot::wait_until`] call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub(crate) struct WaitStats {
+pub struct WaitStats {
     /// Spin-phase iterations executed before the condition held.
     pub spins: u64,
     /// Times the waiter actually blocked on the condvar.
@@ -50,14 +50,19 @@ pub(crate) struct WaitStats {
 }
 
 /// A condvar-backed parking spot with a spin phase in front.
+///
+/// Public beyond the scheduler: `ezp-chan`'s `WaitPolicy::Park` reuses
+/// this exact recipe for full-ring producer and empty-ring consumer
+/// waits, so the workspace has one audited blocking fallback, not two.
 #[derive(Debug, Default)]
-pub(crate) struct ParkLot {
+pub struct ParkLot {
     sleepers: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
 }
 
 impl ParkLot {
+    /// A lot with no sleepers.
     pub fn new() -> Self {
         ParkLot::default()
     }
@@ -80,7 +85,7 @@ impl ParkLot {
         // Park. Lock poisoning cannot occur: no user code ever runs
         // under this mutex (the critical sections below are pure
         // bookkeeping), so unwrap is safe.
-        let t0 = ezp_core::time::now_ns();
+        let t0 = crate::time::now_ns();
         let mut guard = self.lock.lock().unwrap();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         while !ready() {
@@ -89,7 +94,7 @@ impl ParkLot {
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
-        stats.park_ns = ezp_core::time::now_ns().saturating_sub(t0);
+        stats.park_ns = crate::time::now_ns().saturating_sub(t0);
         stats
     }
 

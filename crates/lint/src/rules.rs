@@ -142,13 +142,15 @@ fn unsafe_needs_safety(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 /// **ordering-needs-justification** — non-SeqCst atomic orderings in
-/// `crates/sched` production code need an `ORDERING:` comment saying
-/// whether the access is counter-only (Relaxed is fine) or part of a
-/// synchronizing edge (and with what it pairs). SeqCst sites are exempt
-/// — the workspace treats SeqCst as the default spine — which is also
-/// what allowlists whole SeqCst-spine files like `park.rs`.
+/// `crates/sched` and `crates/chan` production code need an
+/// `ORDERING:` comment saying whether the access is counter-only
+/// (Relaxed is fine) or part of a synchronizing edge (and with what it
+/// pairs). SeqCst sites are exempt — the workspace treats SeqCst as the
+/// default spine — which is also what allowlists whole SeqCst-spine
+/// files like `park.rs`. `chan` is in scope because its SPSC ring is a
+/// sanctioned unsafe island whose soundness *is* its ordering argument.
 fn ordering_needs_justification(f: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
-    if !f.has_component("sched") {
+    if !(f.has_component("sched") || f.has_component("chan")) {
         return;
     }
     for (i, l) in f.lines.iter().enumerate() {
@@ -397,6 +399,9 @@ mod tests {
         assert!(run("crates/sched/src/pool.rs", seqcst, &[]).is_empty());
         let justified = "// ORDERING: counter-only\na.store(1, Ordering::Relaxed);\n";
         assert!(run("crates/sched/src/pool.rs", justified, &[]).is_empty());
+        // the chan crate's ring is in scope too (PR 8)
+        assert_eq!(run("crates/chan/src/ring.rs", src, &[]).len(), 1);
+        assert!(run("crates/chan/src/ring.rs", justified, &[]).is_empty());
     }
 
     #[test]

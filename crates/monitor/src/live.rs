@@ -3,15 +3,19 @@
 //! Worker threads call [`ezp_core::kernel::Probe::start_tile`] /
 //! `end_tile` around every tile, so collection must not serialize them.
 //! Each worker gets its own cache-line-padded slot holding the open-tile
-//! timestamp and a private record buffer; the only synchronization is a
-//! per-worker (hence uncontended) `Mutex` that makes the final harvest
-//! safe.
+//! timestamp and a private event channel: records ride an unbounded
+//! [`ezp_chan`] lane (a lock-free ring push on the default backend, so
+//! the tile hot path takes no lock), harvested into an accumulator when
+//! a report is requested. The backend is selectable via
+//! [`Monitor::with_tuning`], which is how the conformance matrix holds
+//! both substrates to identical reports.
 
 use crate::record::{DepEdge, TileRecord};
 use crate::report::{IterationSpan, MonitorReport};
+use ezp_chan::{unbounded, ChanReceiver, ChanSender, TryRecvError};
 use ezp_core::kernel::{EdgeKind, Probe};
 use ezp_core::time::now_ns;
-use ezp_core::{TileGrid, WorkerId};
+use ezp_core::{ChanTuning, TileGrid, WorkerId};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -23,16 +27,39 @@ use std::sync::Mutex;
 struct WorkerSlot {
     /// Timestamp of the currently open tile (`u64::MAX` when none).
     open_start: AtomicU64,
-    /// Records harvested at report time. Only this worker pushes.
-    records: Mutex<Vec<TileRecord>>,
+    /// This worker's event lane. Only this worker sends; unbounded, so
+    /// a send never blocks the tile hot path.
+    tx: Box<dyn ChanSender<TileRecord>>,
+    /// Harvest side of the lane, drained under `harvested`'s lock.
+    rx: Box<dyn ChanReceiver<TileRecord>>,
+    /// Everything harvested from the lane so far — reports are
+    /// snapshots, not drains, so records accumulate here.
+    harvested: Mutex<Vec<TileRecord>>,
 }
 
 impl WorkerSlot {
-    fn new() -> Self {
+    fn new(tuning: ChanTuning) -> Self {
+        let (mut txs, rx) = unbounded::<TileRecord>(tuning, 1);
         WorkerSlot {
             open_start: AtomicU64::new(u64::MAX),
-            records: Mutex::new(Vec::new()),
+            tx: txs.pop().expect("one sender lane"),
+            rx,
+            harvested: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Drains the lane into the accumulator and copies everything
+    /// collected so far. The lock makes concurrent reports serialize,
+    /// so each in-flight record lands in the accumulator exactly once.
+    fn snapshot(&self) -> Vec<TileRecord> {
+        let mut harvested = self.harvested.lock().unwrap();
+        loop {
+            match self.rx.try_recv() {
+                Ok(r) => harvested.push(r),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Closed) => break,
+            }
+        }
+        harvested.clone()
     }
 }
 
@@ -53,10 +80,16 @@ pub struct Monitor {
 impl Monitor {
     /// Creates a monitor for `workers` threads over `grid`.
     pub fn new(workers: usize, grid: TileGrid) -> Self {
+        Self::with_tuning(workers, grid, ChanTuning::default())
+    }
+
+    /// [`Monitor::new`] with the event channel's backend and wait
+    /// policy chosen by `tuning` (`--chan-backend`, `--wait-policy`).
+    pub fn with_tuning(workers: usize, grid: TileGrid, tuning: ChanTuning) -> Self {
         assert!(workers > 0, "monitor needs at least one worker");
         Monitor {
             grid,
-            slots: (0..workers).map(|_| WorkerSlot::new()).collect(),
+            slots: (0..workers).map(|_| WorkerSlot::new(tuning)).collect(),
             current_iteration: AtomicU32::new(0),
             iterations: Mutex::new(Vec::new()),
             edges: Mutex::new(BTreeSet::new()),
@@ -73,7 +106,7 @@ impl Monitor {
     pub fn report(&self) -> MonitorReport {
         let mut records: Vec<TileRecord> = Vec::new();
         for slot in &self.slots {
-            records.extend(slot.records.lock().unwrap().iter().copied());
+            records.extend(slot.snapshot());
         }
         records.sort_by_key(|r| (r.iteration, r.start_ns));
         let mut iterations = self.iterations.lock().unwrap().clone();
@@ -133,16 +166,18 @@ impl Probe for Monitor {
         // An end without a start is an instrumentation bug in the kernel;
         // record a zero-length task rather than poisoning the run.
         let start = if start == u64::MAX { end } else { start };
-        slot.records.lock().unwrap().push(TileRecord {
-            iteration: self.current_iteration.load(Ordering::Acquire),
-            x,
-            y,
-            w,
-            h,
-            start_ns: start,
-            end_ns: end,
-            worker,
-        });
+        slot.tx
+            .send(TileRecord {
+                iteration: self.current_iteration.load(Ordering::Acquire),
+                x,
+                y,
+                w,
+                h,
+                start_ns: start,
+                end_ns: end,
+                worker,
+            })
+            .expect("monitor event lane closed while its slot is alive");
     }
 
     fn dep_edge(&self, from: usize, to: usize, kind: EdgeKind) {
@@ -266,6 +301,40 @@ mod tests {
             }
         );
         assert_eq!(rep.edges[2].edge_kind(), Some(EdgeKind::Capacity));
+    }
+
+    #[test]
+    fn every_backend_and_policy_yields_the_same_report() {
+        use ezp_core::{ChanBackendKind, WaitPolicy};
+        let collect = |tuning| {
+            let m = Arc::new(Monitor::with_tuning(4, grid(), tuning));
+            m.iteration_start(1);
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let m = m.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..50 {
+                            m.start_tile(w);
+                            m.end_tile(i % 4 * 16, w * 16, 16, 16, w);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            m.iteration_end(1);
+            let mut rec = m.report().records;
+            rec.sort_by_key(|r| (r.worker, r.x, r.y));
+            rec.iter().map(|r| (r.worker, r.x, r.y, r.w, r.h)).collect::<Vec<_>>()
+        };
+        let baseline = collect(ChanTuning::default());
+        for backend in ChanBackendKind::all() {
+            for policy in WaitPolicy::all() {
+                let tuning = ChanTuning { backend, policy };
+                assert_eq!(collect(tuning), baseline, "{tuning:?}");
+            }
+        }
     }
 
     #[test]

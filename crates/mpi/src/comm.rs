@@ -1,16 +1,19 @@
 //! The communicator: ranks, typed point-to-point messages, `run`.
 //!
-//! Every rank owns one unbounded receive channel; sending never blocks
-//! (MPI buffered mode), receiving is *selective*: `recv(src, tag)` pulls
-//! messages into a pending list until the matching one arrives, so
-//! out-of-order traffic between rank pairs with different tags is safe —
-//! the property the Game-of-Life variant relies on when it exchanges
-//! ghost rows and tile-state metadata separately.
+//! Every rank owns one unbounded receive mailbox — an [`ezp_chan`]
+//! channel with one sender lane per peer rank, backend-selectable via
+//! [`ChanTuning`] (`run_tuned`). Sending never blocks (MPI buffered
+//! mode), receiving is *selective*: `recv(src, tag)` pulls messages
+//! into a pending list until the matching one arrives, so out-of-order
+//! traffic between rank pairs with different tags is safe — the
+//! property the Game-of-Life variant relies on when it exchanges ghost
+//! rows and tile-state metadata separately.
 
+use ezp_chan::{unbounded, ChanReceiver, ChanSender};
 use ezp_core::error::{Error, Result};
 use ezp_core::json::{FromJson, Json, ToJson};
+use ezp_core::ChanTuning;
 use std::cell::RefCell;
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// Message tag, like MPI's. Use distinct tags for logically distinct
@@ -93,8 +96,9 @@ impl FromJson for CommStats {
 pub struct Comm {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    /// `senders[dst]` is this rank's private lane into `dst`'s mailbox.
+    senders: Vec<Box<dyn ChanSender<Message>>>,
+    receiver: Box<dyn ChanReceiver<Message>>,
     /// Received-but-not-yet-requested messages (selective reception).
     pending: RefCell<Vec<Message>>,
     barrier: Arc<Barrier>,
@@ -250,31 +254,49 @@ where
     R: Send,
     F: Fn(&Comm) -> Result<R> + Sync,
 {
+    run_tuned(np, ChanTuning::default(), f)
+}
+
+/// [`run_with_stats`] with the mailbox channel's backend and wait
+/// policy chosen by `tuning` (`--chan-backend`, `--wait-policy`) — the
+/// knob the conformance matrix sweeps to hold both substrates to the
+/// same semantics.
+pub fn run_tuned<R, F>(np: usize, tuning: ChanTuning, f: F) -> Result<(Vec<R>, Vec<CommStats>)>
+where
+    R: Send,
+    F: Fn(&Comm) -> Result<R> + Sync,
+{
     if np == 0 {
         return Err(Error::Mpi("world size must be > 0".into()));
     }
-    let mut senders = Vec::with_capacity(np);
-    let mut receivers = Vec::with_capacity(np);
+    // One mailbox per rank, each with one sender lane per peer; rank
+    // `src` takes lane `src` of every mailbox, so `senders[dst]` below
+    // is a private per-producer lane (per-peer FIFO holds by
+    // construction on both backends).
+    let mut lanes_by_dst = Vec::with_capacity(np);
+    let mut inboxes = Vec::with_capacity(np);
     for _ in 0..np {
-        let (tx, rx) = channel();
-        senders.push(tx);
-        receivers.push(rx);
+        let (txs, rx) = unbounded::<Message>(tuning, np);
+        lanes_by_dst.push(txs.into_iter());
+        inboxes.push(rx);
     }
     let barrier = Arc::new(Barrier::new(np));
-    let comms: Vec<Comm> = receivers
+    let comms: Vec<Comm> = inboxes
         .into_iter()
         .enumerate()
         .map(|(rank, receiver)| Comm {
             rank,
             size: np,
-            senders: senders.clone(),
+            senders: lanes_by_dst
+                .iter_mut()
+                .map(|lanes| lanes.next().expect("one sender lane per rank"))
+                .collect(),
             receiver,
             pending: RefCell::new(Vec::new()),
             barrier: barrier.clone(),
             stats: RefCell::new(CommStats::default()),
         })
         .collect();
-    drop(senders);
 
     let mut results: Vec<Option<(Result<R>, CommStats)>> = Vec::new();
     for _ in 0..np {
@@ -510,6 +532,33 @@ mod tests {
         };
         let back = CommStats::from_json(&Json::parse(&st.to_json().dump()).unwrap()).unwrap();
         assert_eq!(back, st);
+    }
+
+    #[test]
+    fn mailboxes_behave_identically_on_every_backend_and_policy() {
+        use ezp_core::{ChanBackendKind, WaitPolicy};
+        for backend in ChanBackendKind::all() {
+            for policy in WaitPolicy::all() {
+                let tuning = ChanTuning { backend, policy };
+                // the ring-pass exchange plus selective reception, the
+                // two mailbox behaviors the variants lean on
+                let (got, stats) = run_tuned(3, tuning, |comm| {
+                    let next = (comm.rank() + 1) % 3;
+                    let prev = (comm.rank() + 2) % 3;
+                    comm.send(next, 2, &(comm.rank() * 10))?;
+                    comm.send(next, 1, &comm.rank())?;
+                    // request tag 1 before tag 2: out-of-order pull
+                    let a: usize = comm.recv(prev, 1)?;
+                    let b: usize = comm.recv(prev, 2)?;
+                    Ok((a, b))
+                })
+                .unwrap();
+                assert_eq!(got, vec![(2, 20), (0, 0), (1, 10)], "{tuning:?}");
+                for st in &stats {
+                    assert_eq!((st.msgs_sent, st.msgs_received), (2, 2), "{tuning:?}");
+                }
+            }
+        }
     }
 
     #[test]

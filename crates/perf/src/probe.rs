@@ -78,6 +78,14 @@ pub mod names {
     /// High-water mark of any single stage's occupancy (gauge, worker
     /// slot 0).
     pub const STAGE_OCCUPANCY: &str = "stage_occupancy";
+    /// Items sent over `ezp-chan` channels (or their `mpsc` baseline).
+    pub const CHAN_SENDS: &str = "chan_sends";
+    /// Items received over `ezp-chan` channels.
+    pub const CHAN_RECVS: &str = "chan_recvs";
+    /// Sender stall episodes on a full channel.
+    pub const CHAN_FULL_STALLS: &str = "chan_full_stalls";
+    /// Receiver stall episodes on an empty channel.
+    pub const CHAN_EMPTY_STALLS: &str = "chan_empty_stalls";
 }
 
 /// Span names for the per-cause idle intervals, indexed like
@@ -117,6 +125,10 @@ pub struct PerfProbe {
     frames_in_flight: CounterId,
     reorder_depth: CounterId,
     stage_occupancy: CounterId,
+    chan_sends: CounterId,
+    chan_recvs: CounterId,
+    chan_full_stalls: CounterId,
+    chan_empty_stalls: CounterId,
     /// Start timestamp of the iteration currently in flight.
     iter_start: AtomicU64,
     /// Per-worker start timestamp of the tile currently in flight.
@@ -160,6 +172,10 @@ impl PerfProbe {
         let frames_in_flight = counters.register(names::FRAMES_IN_FLIGHT);
         let reorder_depth = counters.register(names::REORDER_BUFFER_DEPTH);
         let stage_occupancy = counters.register(names::STAGE_OCCUPANCY);
+        let chan_sends = counters.register(names::CHAN_SENDS);
+        let chan_recvs = counters.register(names::CHAN_RECVS);
+        let chan_full_stalls = counters.register(names::CHAN_FULL_STALLS);
+        let chan_empty_stalls = counters.register(names::CHAN_EMPTY_STALLS);
         PerfProbe {
             counters,
             spans: SpanSet::new(workers, capacity),
@@ -180,6 +196,10 @@ impl PerfProbe {
             frames_in_flight,
             reorder_depth,
             stage_occupancy,
+            chan_sends,
+            chan_recvs,
+            chan_full_stalls,
+            chan_empty_stalls,
             iter_start: AtomicU64::new(0),
             tile_start: (0..workers.max(1)).map(|_| TileStart(AtomicU64::new(0))).collect(),
             task_hist: ShardedHistogram::new("task_ns", workers),
@@ -299,6 +319,18 @@ impl Probe for PerfProbe {
             RuntimeEvent::StreamStageOccupancy { depth } => {
                 self.counters.max(self.stage_occupancy, 0, depth as u64)
             }
+            RuntimeEvent::ChanOps {
+                sends,
+                recvs,
+                full_stalls,
+                empty_stalls,
+            } => {
+                self.counters.add(self.chan_sends, worker, sends);
+                self.counters.add(self.chan_recvs, worker, recvs);
+                self.counters.add(self.chan_full_stalls, worker, full_stalls);
+                self.counters
+                    .add(self.chan_empty_stalls, worker, empty_stalls);
+            }
         }
     }
 
@@ -364,7 +396,20 @@ mod tests {
         probe.runtime_event(0, RuntimeEvent::StreamReorderDepth { depth: 4 });
         probe.runtime_event(0, RuntimeEvent::StreamReorderDepth { depth: 1 });
         probe.runtime_event(1, RuntimeEvent::StreamStageOccupancy { depth: 2 });
+        probe.runtime_event(
+            0,
+            RuntimeEvent::ChanOps {
+                sends: 16,
+                recvs: 15,
+                full_stalls: 4,
+                empty_stalls: 2,
+            },
+        );
         let snap = probe.snapshot();
+        assert_eq!(snap.total(names::CHAN_SENDS), 16);
+        assert_eq!(snap.total(names::CHAN_RECVS), 15);
+        assert_eq!(snap.total(names::CHAN_FULL_STALLS), 4);
+        assert_eq!(snap.total(names::CHAN_EMPTY_STALLS), 2);
         assert_eq!(snap.total(names::BACKPRESSURE_STALLS), 1);
         assert_eq!(snap.total(names::FRAMES_EMITTED), 2);
         assert_eq!(snap.total(names::FRAMES_IN_FLIGHT), 7);

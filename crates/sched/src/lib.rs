@@ -24,17 +24,18 @@
 
 #![warn(missing_docs)]
 // `unsafe_code` is deliberately NOT denied here: `pool` (lifetime-erased
-// closure dispatch) and `img_cell` (disjoint-tile aliasing) are the two
-// sanctioned unsafe islands of the workspace. Every `unsafe` block in
-// them carries a `SAFETY:` argument, enforced by `ezp-lint`'s
-// `unsafe-needs-safety` rule.
+// closure dispatch) and `img_cell` (disjoint-tile aliasing) are two of
+// the three sanctioned unsafe islands of the workspace (the third is
+// `ezp-chan`'s SPSC ring slots). Every `unsafe` block in them carries a
+// `SAFETY:` argument, enforced by `ezp-lint`'s `unsafe-needs-safety`
+// rule.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod deque;
 pub mod dispenser;
 pub mod img_cell;
 pub mod parallel;
-pub(crate) mod park;
+pub use ezp_core::park;
 pub mod pool;
 pub mod skeleton;
 pub mod taskgraph;
@@ -47,10 +48,12 @@ pub use img_cell::{ImgCell, TileWriter};
 pub use parallel::{
     parallel_for_range, parallel_for_range_probed, parallel_for_tiles, parallel_for_tiles_img,
 };
+pub use park::{ParkLot, WaitStats};
 pub use pool::{PoolSyncStats, WorkerPool};
 pub use skeleton::{PipeShape, PipeStage};
 pub use taskgraph::TaskGraph;
 #[cfg(feature = "ezp-check")]
 pub use vexec::{
-    virtual_drain, virtual_for_range, virtual_for_tiles, virtual_taskgraph, Reachability, VStep,
+    check_chan_oracle, virtual_chan, virtual_drain, virtual_for_range, virtual_for_tiles,
+    virtual_taskgraph, Reachability, VChanReport, VStep,
 };

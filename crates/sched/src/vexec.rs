@@ -507,6 +507,318 @@ pub fn virtual_region_protocol(
     observed
 }
 
+/// What a [`virtual_chan`] run observed: every popped item in pop
+/// order, plus the occupancy peak and stall counts. Two runs from the
+/// same `(strategy kind, seed)` compare equal — the replay contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VChanReport {
+    /// `(producer, seq)` for every popped item, in pop order. A read
+    /// that observed an unwritten slot (possible only with
+    /// `broken = true`) records `(lane, u64::MAX)`.
+    pub popped: Vec<(usize, u64)>,
+    /// Peak of `tail - head` over all lanes and steps.
+    pub max_occupancy: usize,
+    /// Times a producer found its lane full and parked.
+    pub full_stalls: u64,
+    /// Times a consumer swept every lane without work and parked.
+    pub empty_stalls: u64,
+}
+
+/// Per-lane state of the step-level channel model: the monotone
+/// counters and slot array of `ezp_chan::ring::RingCore`, one lane per
+/// producer as in the MPMC composition.
+struct VLane {
+    /// `cap` slots; `None` = unwritten (the model's `MaybeUninit`).
+    slots: Vec<Option<(usize, u64)>>,
+    head: u64,
+    tail: u64,
+    /// Pop-claim flag (`ezp_chan::mpmc`'s per-lane consumer claim).
+    claimed: bool,
+    /// Producer finished all its items (`tx_alive == false`).
+    done: bool,
+}
+
+/// Producer protocol step about to execute (one scheduling point each —
+/// the granularity at which the ring's release/acquire pairs matter).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PPhase {
+    /// Load `head`, compare against `cap`.
+    CheckFull,
+    /// Write the slot (`(*slot.get()).write(value)`).
+    WriteSlot,
+    /// Release-store the bumped `tail`.
+    PublishTail,
+}
+
+/// Consumer protocol step about to execute.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CPhase {
+    /// Sweep lanes from the rotation cursor; claim one with an item.
+    Claim,
+    /// Read the slot out (`assume_init_read`).
+    ReadSlot { lane: usize },
+    /// Release-store the bumped `head`, drop the claim.
+    PublishHead { lane: usize },
+}
+
+/// A step-level model of the `ezp-chan` MPMC channel — `producers`
+/// single-producer ring lanes of capacity `cap`, drained by `consumers`
+/// claim-rotating consumers — interleaved one protocol step at a time
+/// by `strategy`. This is the `virtual_chan` twin the real channel's
+/// adversarial battery leans on: the threaded tests can only sample
+/// interleavings, the model *enumerates* them under every strategy
+/// family and replays any failure from `(kind, seed)`.
+///
+/// Each producer pushes `items` values `0..items`; each push is three
+/// scheduling points (`CheckFull`, `WriteSlot`, `PublishTail` — the
+/// ring's load-acquire, slot write, and store-release). Each pop is
+/// three as well (`Claim`, `ReadSlot`, `PublishHead`). Parking is
+/// modeled as leaving the runnable set, with publishes and claim
+/// releases re-entering waiters — so unfair strategies (steal-heavy,
+/// starve-one) cannot spin the model on a blocked actor, and a lost
+/// wakeup surfaces as non-termination with work outstanding.
+///
+/// `broken = true` swaps the producer's `WriteSlot` and `PublishTail`
+/// steps — the bug the real ring's Release ordering on `tail` prevents:
+/// the new count is published *before* the slot holds the value. A
+/// consumer scheduled into that window reads an unwritten slot, which
+/// the model records as `(lane, u64::MAX)`; [`check_chan_oracle`]
+/// rejects it. `injected_broken_ordering_is_caught` in the ezp-check
+/// suite pins that the oracle really catches this.
+///
+/// Build `strategy` for `producers + consumers` actors (producers come
+/// first).
+pub fn virtual_chan(
+    producers: usize,
+    consumers: usize,
+    cap: usize,
+    items: u64,
+    broken: bool,
+    strategy: &mut dyn Interleave,
+) -> VChanReport {
+    let producers = producers.max(1);
+    let consumers = consumers.max(1);
+    let cap = cap.max(1) as u64;
+    let mut lanes: Vec<VLane> = (0..producers)
+        .map(|_| VLane {
+            slots: vec![None; cap as usize],
+            head: 0,
+            tail: 0,
+            claimed: false,
+            done: false,
+        })
+        .collect();
+    let mut p_phase = vec![PPhase::CheckFull; producers];
+    let mut p_next = vec![0u64; producers]; // next seq to push
+    let mut c_phase = vec![CPhase::Claim; consumers];
+    let mut c_cursor = vec![0usize; consumers]; // lane rotation
+    // Parked actors (out of the runnable set, awaiting a wake).
+    let mut p_parked = vec![false; producers];
+    let mut c_parked = vec![false; consumers];
+
+    let mut report = VChanReport {
+        popped: Vec::with_capacity((producers as u64 * items) as usize),
+        max_occupancy: 0,
+        full_stalls: 0,
+        empty_stalls: 0,
+    };
+
+    // Actors 0..producers are producers; producers..producers+consumers
+    // are consumers. `runnable[x] = false` models parked or finished.
+    let mut runnable = vec![true; producers + consumers];
+    if items == 0 {
+        for (p, r) in runnable.iter_mut().take(producers).enumerate() {
+            lanes[p].done = true;
+            *r = false;
+        }
+    }
+
+    // A publish (or a producer finishing) can satisfy any sleeping
+    // consumer; a drained slot or dropped claim can satisfy sleepers on
+    // the other side. Waking everyone parked on the event's side is
+    // exactly what `ParkLot::notify` (notify_all) does.
+    macro_rules! wake_consumers {
+        () => {
+            for (c, parked) in c_parked.iter_mut().enumerate() {
+                if *parked {
+                    *parked = false;
+                    runnable[producers + c] = true;
+                }
+            }
+        };
+    }
+
+    while let Some(actor) = strategy.next_worker(&runnable) {
+        if actor < producers {
+            // ---- producer step ----
+            let p = actor;
+            let lane = &mut lanes[p];
+            match p_phase[p] {
+                PPhase::CheckFull => {
+                    if lane.tail - lane.head >= cap {
+                        // full: park on the not-full lot
+                        report.full_stalls += 1;
+                        p_parked[p] = true;
+                        runnable[p] = false;
+                    } else {
+                        p_phase[p] =
+                            if broken { PPhase::PublishTail } else { PPhase::WriteSlot };
+                    }
+                }
+                PPhase::WriteSlot => {
+                    // In broken mode the publish already bumped `tail`,
+                    // so the item's slot is the one just published.
+                    let slot_of = if broken { lane.tail - 1 } else { lane.tail };
+                    let idx = (slot_of % cap) as usize;
+                    lane.slots[idx] = Some((p, p_next[p]));
+                    if broken {
+                        // broken ordering: the write lands *after* the
+                        // publish; this completes the push
+                        p_next[p] += 1;
+                        if p_next[p] == items {
+                            lane.done = true;
+                            runnable[p] = false;
+                            wake_consumers!();
+                        } else {
+                            p_phase[p] = PPhase::CheckFull;
+                        }
+                    } else {
+                        p_phase[p] = PPhase::PublishTail;
+                    }
+                }
+                PPhase::PublishTail => {
+                    // In broken mode the slot is still unwritten here —
+                    // the published count runs ahead of the data.
+                    lane.tail += 1;
+                    report.max_occupancy =
+                        report.max_occupancy.max((lane.tail - lane.head) as usize);
+                    debug_assert!(lane.tail - lane.head <= cap, "occupancy exceeded cap");
+                    if broken {
+                        p_phase[p] = PPhase::WriteSlot;
+                    } else {
+                        p_next[p] += 1;
+                        if p_next[p] == items {
+                            lane.done = true;
+                            runnable[p] = false;
+                        } else {
+                            p_phase[p] = PPhase::CheckFull;
+                        }
+                    }
+                    wake_consumers!();
+                }
+            }
+        } else {
+            // ---- consumer step ----
+            let c = actor - producers;
+            match c_phase[c] {
+                CPhase::Claim => {
+                    let mut claimed_lane = None;
+                    for off in 0..producers {
+                        let l = (c_cursor[c] + off) % producers;
+                        if !lanes[l].claimed && lanes[l].tail > lanes[l].head {
+                            lanes[l].claimed = true;
+                            c_cursor[c] = (l + 1) % producers;
+                            claimed_lane = Some(l);
+                            break;
+                        }
+                    }
+                    match claimed_lane {
+                        Some(l) => c_phase[c] = CPhase::ReadSlot { lane: l },
+                        None => {
+                            if lanes.iter().all(|l| l.done && l.tail == l.head) {
+                                // drained and every producer gone: the
+                                // channel is closed for good
+                                runnable[producers + c] = false;
+                            } else {
+                                // empty (or every populated lane claimed):
+                                // park on the not-empty lot
+                                report.empty_stalls += 1;
+                                c_parked[c] = true;
+                                runnable[producers + c] = false;
+                            }
+                        }
+                    }
+                }
+                CPhase::ReadSlot { lane } => {
+                    let l = &mut lanes[lane];
+                    // `take` models `assume_init_read`: the slot no
+                    // longer owns the value. Reading `None` means the
+                    // producer published before writing — the bug the
+                    // oracle exists to catch.
+                    let value = l.slots[(l.head % cap) as usize]
+                        .take()
+                        .unwrap_or((lane, u64::MAX));
+                    report.popped.push(value);
+                    c_phase[c] = CPhase::PublishHead { lane };
+                }
+                CPhase::PublishHead { lane } => {
+                    lanes[lane].head += 1;
+                    lanes[lane].claimed = false;
+                    c_phase[c] = CPhase::Claim;
+                    // a slot freed: wake the lane's producer; a claim
+                    // dropped (and possibly more items visible): wake
+                    // sleeping consumers
+                    if p_parked[lane] {
+                        p_parked[lane] = false;
+                        runnable[lane] = true;
+                    }
+                    wake_consumers!();
+                }
+            }
+        }
+    }
+
+    assert!(
+        lanes.iter().all(|l| l.done && l.tail == l.head),
+        "virtual_chan did not terminate cleanly: a lost wakeup left work outstanding"
+    );
+    report
+}
+
+/// The happens-before oracle over a [`virtual_chan`] run: every item
+/// pushed is popped exactly once, and each producer's items appear in
+/// pop order exactly as pushed (per-producer FIFO). Returns a
+/// diagnostic instead of panicking so the injected-bug test can assert
+/// the oracle *fires* on a broken ring.
+pub fn check_chan_oracle(
+    report: &VChanReport,
+    producers: usize,
+    items: u64,
+) -> std::result::Result<(), String> {
+    let expect_total = producers as u64 * items;
+    if report.popped.len() as u64 != expect_total {
+        return Err(format!(
+            "lost or duplicated items: popped {} of {expect_total}",
+            report.popped.len()
+        ));
+    }
+    let mut next = vec![0u64; producers];
+    for (i, &(p, seq)) in report.popped.iter().enumerate() {
+        if p >= producers {
+            return Err(format!("pop {i}: unknown producer {p}"));
+        }
+        if seq == u64::MAX {
+            return Err(format!(
+                "pop {i}: producer {p} slot read before it was written (torn publish)"
+            ));
+        }
+        if seq != next[p] {
+            return Err(format!(
+                "pop {i}: producer {p} out of order: got seq {seq}, expected {} \
+                 (lost, duplicated or reordered)",
+                next[p]
+            ));
+        }
+        next[p] += 1;
+    }
+    for (p, &n) in next.iter().enumerate() {
+        if n != items {
+            return Err(format!("producer {p}: only {n} of {items} items popped"));
+        }
+    }
+    Ok(())
+}
+
 /// Transitive happens-before over a [`TaskGraph`], as per-task descendant
 /// bitsets — the oracle [`ezp_core::shadow::ShadowSession`] needs to
 /// judge cross-task conflicts. Intended for test-sized graphs (memory is
@@ -819,6 +1131,76 @@ mod tests {
             let mut s2 = RandomWalk::seeded(11);
             assert_eq!(virtual_farm(33, 4, ordered, &mut s2), v, "no replay");
         }
+    }
+
+    #[test]
+    fn virtual_chan_single_producer_single_consumer_is_fifo() {
+        let mut s = RoundRobin::new();
+        let v = virtual_chan(1, 1, 4, 32, false, &mut s);
+        check_chan_oracle(&v, 1, 32).unwrap();
+        assert!(v.max_occupancy <= 4);
+        // round-robin alternates producer/consumer steps, so the ring
+        // never fills beyond a couple of items
+        assert!(v.max_occupancy >= 1);
+    }
+
+    #[test]
+    fn virtual_chan_backpressure_shows_as_full_stalls() {
+        // Starve the consumer (actor 1): the producer runs alone until
+        // the cap-1 ring fills, so it must park on every publish.
+        let mut s = StealHeavy::new(0);
+        let v = virtual_chan(1, 1, 1, 16, false, &mut s);
+        check_chan_oracle(&v, 1, 16).unwrap();
+        assert_eq!(v.max_occupancy, 1);
+        assert!(v.full_stalls >= 15, "cap-1 ring must stall: {v:?}");
+    }
+
+    #[test]
+    fn virtual_chan_replays_from_its_seed() {
+        for kind in StrategyKind::all() {
+            let mut a = kind.build(7, 5);
+            let mut b = kind.build(7, 5);
+            assert_eq!(
+                virtual_chan(2, 3, 2, 20, false, &mut *a),
+                virtual_chan(2, 3, 2, 20, false, &mut *b),
+                "{kind:?}: run did not replay from its seed"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_chan_oracle_rejects_handmade_corruption() {
+        let mut s = RoundRobin::new();
+        let good = virtual_chan(2, 1, 4, 8, false, &mut s);
+        check_chan_oracle(&good, 2, 8).unwrap();
+
+        let mut lost = good.clone();
+        lost.popped.pop();
+        assert!(check_chan_oracle(&lost, 2, 8).is_err(), "lost item missed");
+
+        let mut dup = good.clone();
+        let first = dup.popped[0];
+        dup.popped[1] = first;
+        assert!(check_chan_oracle(&dup, 2, 8).is_err(), "duplicate missed");
+
+        let mut reordered = good.clone();
+        // swap a producer's first two items in pop order
+        let idx: Vec<usize> = reordered
+            .popped
+            .iter()
+            .enumerate()
+            .filter(|(_, &(p, _))| p == 0)
+            .map(|(i, _)| i)
+            .collect();
+        reordered.popped.swap(idx[0], idx[1]);
+        assert!(
+            check_chan_oracle(&reordered, 2, 8).is_err(),
+            "per-producer reorder missed"
+        );
+
+        let mut torn = good;
+        torn.popped[3] = (0, u64::MAX);
+        assert!(check_chan_oracle(&torn, 2, 8).is_err(), "torn read missed");
     }
 
     #[test]

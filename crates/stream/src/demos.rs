@@ -20,11 +20,11 @@
 //! with an [`EmitMode`] and a farm width). The streaming conformance
 //! matrix in `tests/conformance.rs` holds them to byte equality.
 
-use crate::engine::{run_pipeline, StreamStats};
+use crate::engine::{run_pipeline_tuned, StreamStats};
 use crate::pipeline::Pipeline;
 use ezp_core::error::Result;
 use ezp_core::kernel::Probe;
-use ezp_core::{color, EmitMode};
+use ezp_core::{color, ChanTuning, EmitMode};
 use ezp_kernels::mandel::{escape_iterations, Viewport, DEFAULT_MAX_ITER};
 use ezp_sched::WorkerPool;
 use ezp_testkit::Rng;
@@ -56,6 +56,23 @@ pub trait StreamKernel: Send + Sync {
         farm_width: usize,
         pool: &mut WorkerPool,
         probe: &dyn Probe,
+    ) -> Result<(Vec<FrameOut>, StreamStats)> {
+        self.run_tuned(dim, frames, mode, farm_width, ChanTuning::default(), pool, probe)
+    }
+
+    /// [`StreamKernel::run`] with the emission channel's backend and
+    /// wait policy chosen by `tuning` — what `--chan-backend` and
+    /// `--wait-policy` reach, and what the conformance matrix sweeps.
+    #[allow(clippy::too_many_arguments)]
+    fn run_tuned(
+        &self,
+        dim: usize,
+        frames: usize,
+        mode: EmitMode,
+        farm_width: usize,
+        tuning: ChanTuning,
+        pool: &mut WorkerPool,
+        probe: &dyn Probe,
     ) -> Result<(Vec<FrameOut>, StreamStats)>;
 }
 
@@ -82,14 +99,16 @@ fn drive(
     pipe: &Pipeline<Vec<u8>>,
     frames: usize,
     mode: EmitMode,
+    tuning: ChanTuning,
     pool: &mut WorkerPool,
     probe: &dyn Probe,
 ) -> Result<(Vec<FrameOut>, StreamStats)> {
     let mut out = Vec::with_capacity(frames);
-    let stats = run_pipeline(
+    let stats = run_pipeline_tuned(
         pipe,
         frames,
         mode,
+        tuning,
         pool,
         probe,
         |_| Vec::new(),
@@ -154,16 +173,17 @@ impl StreamKernel for MandelZoom {
         collect_seq(&mandel_zoom_pipeline(dim, 1), frames)
     }
 
-    fn run(
+    fn run_tuned(
         &self,
         dim: usize,
         frames: usize,
         mode: EmitMode,
         farm_width: usize,
+        tuning: ChanTuning,
         pool: &mut WorkerPool,
         probe: &dyn Probe,
     ) -> Result<(Vec<FrameOut>, StreamStats)> {
-        drive(&mandel_zoom_pipeline(dim, farm_width), frames, mode, pool, probe)
+        drive(&mandel_zoom_pipeline(dim, farm_width), frames, mode, tuning, pool, probe)
     }
 }
 
@@ -216,16 +236,17 @@ impl StreamKernel for FrameDiff {
         collect_seq(&frame_diff_pipeline(dim, 1), frames)
     }
 
-    fn run(
+    fn run_tuned(
         &self,
         dim: usize,
         frames: usize,
         mode: EmitMode,
         farm_width: usize,
+        tuning: ChanTuning,
         pool: &mut WorkerPool,
         probe: &dyn Probe,
     ) -> Result<(Vec<FrameOut>, StreamStats)> {
-        drive(&frame_diff_pipeline(dim, farm_width), frames, mode, pool, probe)
+        drive(&frame_diff_pipeline(dim, farm_width), frames, mode, tuning, pool, probe)
     }
 }
 
@@ -292,16 +313,17 @@ impl StreamKernel for WordCount {
         collect_seq(&wordcount_pipeline(dim, 1), frames)
     }
 
-    fn run(
+    fn run_tuned(
         &self,
         dim: usize,
         frames: usize,
         mode: EmitMode,
         farm_width: usize,
+        tuning: ChanTuning,
         pool: &mut WorkerPool,
         probe: &dyn Probe,
     ) -> Result<(Vec<FrameOut>, StreamStats)> {
-        drive(&wordcount_pipeline(dim, farm_width), frames, mode, pool, probe)
+        drive(&wordcount_pipeline(dim, farm_width), frames, mode, tuning, pool, probe)
     }
 }
 

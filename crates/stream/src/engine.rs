@@ -27,10 +27,11 @@
 //! probe (worker slot 0, so the reported total *is* the peak).
 
 use crate::pipeline::Pipeline;
+use ezp_chan::ChanStats;
 use ezp_core::error::Result;
 use ezp_core::kernel::{IdleCause, Probe, RuntimeEvent};
 use ezp_core::time::now_ns;
-use ezp_core::EmitMode;
+use ezp_core::{ChanTuning, EmitMode};
 use ezp_sched::WorkerPool;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -57,17 +58,31 @@ pub struct StreamStats {
     pub max_reorder_depth: usize,
     /// High-water mark of any single stage's concurrent occupancy.
     pub max_stage_occupancy: usize,
+    /// Items sent into the emission channel (one per frame).
+    pub chan_sends: u64,
+    /// Items drained from the emission channel (equals `chan_sends`).
+    pub chan_recvs: u64,
+    /// Times a worker found the emission channel full. Structurally 0:
+    /// each window's channel holds the whole window (see
+    /// `run_pipeline_tuned`), which is what makes the bounded emission
+    /// path deadlock-free.
+    pub chan_full_stalls: u64,
+    /// Times the drain found the emission channel empty and waited.
+    pub chan_empty_stalls: u64,
 }
 
-/// Reorder/emission state shared by final-stage units, behind one lock.
-struct SinkState<'a, T> {
-    sink: &'a mut (dyn FnMut(usize, T) + Send),
+/// Reorder/emission bookkeeping shared by final-stage units, behind one
+/// lock. Payloads travel through the emission channel; this tracker
+/// only decides *when* a frame counts as emitted (gauges and events
+/// fire at the same logical points as the pre-channel engine: unordered
+/// on completion, ordered when the frontier passes the frame).
+struct EmitTracker {
     /// Next frame id (window-local) the ordered mode may emit.
     frontier: usize,
     /// Final-stage completions so far in this window.
     completed: usize,
-    /// Parked payloads of completed frames awaiting the frontier.
-    parked: Vec<Option<T>>,
+    /// Which frames have completed (ordered mode's reorder markers).
+    done: Vec<bool>,
     /// Peak of `completed - frontier` after each emission round.
     max_reorder_depth: usize,
 }
@@ -85,6 +100,30 @@ pub fn run_pipeline<T: Send>(
     pool: &mut WorkerPool,
     probe: &dyn Probe,
     source: impl Fn(usize) -> T + Sync,
+    sink: impl FnMut(usize, T) + Send,
+) -> Result<StreamStats> {
+    run_pipeline_tuned(pipe, frames, mode, ChanTuning::default(), pool, probe, source, sink)
+}
+
+/// [`run_pipeline`] with the emission channel's backend and wait policy
+/// chosen by `tuning` (`--chan-backend`, `--wait-policy`).
+///
+/// Completed frames leave the workers through an `ezp_chan` bounded
+/// channel — one sender lane per worker, drained after the window's
+/// region barrier. Each window's channel holds `wlen` items per lane,
+/// and a window sends exactly `wlen` items total, so a send can never
+/// find the channel full: emission backpressure is explicitly bounded
+/// by the window and cannot deadlock, even at pipeline `capacity(1)`
+/// (pinned by `emission_channel_is_deadlock_free_at_capacity_one`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_tuned<T: Send>(
+    pipe: &Pipeline<T>,
+    frames: usize,
+    mode: EmitMode,
+    tuning: ChanTuning,
+    pool: &mut WorkerPool,
+    probe: &dyn Probe,
+    source: impl Fn(usize) -> T + Sync,
     mut sink: impl FnMut(usize, T) + Send,
 ) -> Result<StreamStats> {
     assert!(pipe.stages() > 0, "a pipeline needs at least one stage");
@@ -98,6 +137,8 @@ pub fn run_pipeline<T: Send>(
     let occupancy: Vec<AtomicUsize> = (0..stages).map(|_| AtomicUsize::new(0)).collect();
     let max_occupancy = AtomicUsize::new(0);
     let mut max_reorder_depth = 0usize;
+    let mut chan_stats = ChanStats::default();
+    let lanes = pool.threads().max(1);
 
     let mut base = 0usize;
     while base < frames {
@@ -118,11 +159,14 @@ pub fn run_pipeline<T: Send>(
         // One payload slot per in-window frame; hand-offs are ordered
         // by graph edges, so these locks are uncontended.
         let slots: Vec<Mutex<Option<T>>> = (0..wlen).map(|_| Mutex::new(None)).collect();
-        let sink_state = Mutex::new(SinkState {
-            sink: &mut sink,
+        // The window's emission channel: one lane per worker, each deep
+        // enough for the whole window, so no send can block (see the
+        // function docs for the deadlock-freedom argument).
+        let (txs, rx) = ezp_chan::bounded::<(usize, T)>(tuning, lanes, wlen);
+        let tracker = Mutex::new(EmitTracker {
             frontier: 0,
             completed: 0,
-            parked: (0..wlen).map(|_| None).collect(),
+            done: vec![false; wlen],
             max_reorder_depth: 0,
         });
 
@@ -151,35 +195,28 @@ pub fn run_pipeline<T: Send>(
             occupancy[s].fetch_sub(1, Ordering::Relaxed);
 
             if s + 1 == stages {
-                // final stage: emit (or park, in ordered mode)
-                let mut st = sink_state.lock().unwrap();
+                // final stage: the payload leaves through the channel;
+                // the tracker fires the emission events at the same
+                // logical points the in-place sink used to.
+                txs[worker.min(lanes - 1)]
+                    .send((base + f, payload))
+                    .unwrap_or_else(|_| panic!("emission channel closed mid-window"));
+                let mut st = tracker.lock().unwrap();
                 st.completed += 1;
                 match mode {
                     EmitMode::Unordered => {
                         in_flight.fetch_sub(1, Ordering::Relaxed);
-                        (st.sink)(base + f, payload);
                         if want_events {
                             probe.runtime_event(worker, RuntimeEvent::StreamFrameEmitted);
                         }
                     }
                     EmitMode::Ordered => {
-                        st.parked[f] = Some(payload);
-                        while st.frontier < wlen {
-                            let at = st.frontier;
-                            match st.parked[at].take() {
-                                Some(p) => {
-                                    let id = base + st.frontier;
-                                    in_flight.fetch_sub(1, Ordering::Relaxed);
-                                    (st.sink)(id, p);
-                                    st.frontier += 1;
-                                    if want_events {
-                                        probe.runtime_event(
-                                            worker,
-                                            RuntimeEvent::StreamFrameEmitted,
-                                        );
-                                    }
-                                }
-                                None => break,
+                        st.done[f] = true;
+                        while st.frontier < wlen && st.done[st.frontier] {
+                            in_flight.fetch_sub(1, Ordering::Relaxed);
+                            st.frontier += 1;
+                            if want_events {
+                                probe.runtime_event(worker, RuntimeEvent::StreamFrameEmitted);
                             }
                         }
                         let depth = st.completed - st.frontier;
@@ -227,10 +264,50 @@ pub fn run_pipeline<T: Send>(
             }
         })?;
 
-        let st = sink_state.into_inner().unwrap();
+        // Drain the window: the region barrier above guarantees all
+        // `wlen` sends happened, so exactly `wlen` receives succeed.
+        // Unordered mode preserves arrival order (per-lane FIFO merged
+        // by the drain's rotation); ordered mode sorts by frame id —
+        // the sink sees frames in exactly the order the tracker
+        // reported them emitted.
+        let mut emitted: Vec<(usize, T)> = Vec::with_capacity(wlen);
+        for _ in 0..wlen {
+            emitted.push(rx.recv().expect("emission channel closed before the window drained"));
+        }
+        if mode == EmitMode::Ordered {
+            emitted.sort_unstable_by_key(|e| e.0);
+        }
+        for (id, payload) in emitted {
+            sink(id, payload);
+        }
+        chan_stats = chan_stats.merge(&rx.stats());
+        drop(txs);
+
+        let st = tracker.into_inner().unwrap();
         debug_assert_eq!(st.frontier_or_completed(mode), wlen);
         max_reorder_depth = max_reorder_depth.max(st.max_reorder_depth);
         base += wlen;
+    }
+
+    if want_events && frames > 0 {
+        probe.runtime_event(
+            0,
+            RuntimeEvent::ChanOps {
+                sends: chan_stats.sends,
+                recvs: chan_stats.recvs,
+                full_stalls: chan_stats.full_stalls,
+                empty_stalls: chan_stats.empty_stalls,
+            },
+        );
+        if chan_stats.stall_ns > 0 {
+            probe.runtime_event(
+                0,
+                RuntimeEvent::IdleNs {
+                    ns: chan_stats.stall_ns,
+                    cause: IdleCause::Backpressure,
+                },
+            );
+        }
     }
 
     Ok(StreamStats {
@@ -239,10 +316,14 @@ pub fn run_pipeline<T: Send>(
         max_frames_in_flight: max_in_flight.into_inner(),
         max_reorder_depth,
         max_stage_occupancy: max_occupancy.into_inner(),
+        chan_sends: chan_stats.sends,
+        chan_recvs: chan_stats.recvs,
+        chan_full_stalls: chan_stats.full_stalls,
+        chan_empty_stalls: chan_stats.empty_stalls,
     })
 }
 
-impl<T> SinkState<'_, T> {
+impl EmitTracker {
     /// Window-completion figure checked by the engine's debug assert:
     /// ordered mode must have advanced the frontier through the whole
     /// window; unordered must have completed every frame.
@@ -441,6 +522,82 @@ mod tests {
         );
         assert_eq!(snap.total(names::BACKPRESSURE_STALLS), stats.backpressure_stalls);
         assert!(stats.max_stage_occupancy >= 1);
+        // the emission channel's activity lands in the chan_* counters:
+        // one send and one receive per frame, and the bounded-window
+        // design means a send never finds the channel full
+        assert_eq!(snap.total(names::CHAN_SENDS), 64);
+        assert_eq!(snap.total(names::CHAN_RECVS), 64);
+        assert_eq!(snap.total(names::CHAN_FULL_STALLS), 0);
+        assert_eq!(stats.chan_sends, 64);
+        assert_eq!(stats.chan_recvs, 64);
+        assert_eq!(stats.chan_full_stalls, 0);
+    }
+
+    fn tunings() -> Vec<ChanTuning> {
+        let mut v = Vec::new();
+        for backend in ezp_core::ChanBackendKind::all() {
+            for policy in ezp_core::WaitPolicy::all() {
+                v.push(ChanTuning { backend, policy });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_backend_and_policy_matches_seq_byte_for_byte() {
+        let pipe = square_pipe(4);
+        let mut expect = Vec::new();
+        pipe.run_seq(100, |f| f as u64, |f, x| expect.push((f, x)));
+        let mut pool = WorkerPool::new(4);
+        for tuning in tunings() {
+            let mut got = Vec::new();
+            let stats = run_pipeline_tuned(
+                &pipe,
+                100,
+                EmitMode::Ordered,
+                tuning,
+                &mut pool,
+                &NullProbe,
+                |f| f as u64,
+                |f, x| got.push((f, x)),
+            )
+            .unwrap();
+            assert_eq!(got, expect, "{tuning:?} diverged from seq");
+            assert_eq!(stats.chan_sends, 100, "{tuning:?}");
+            assert_eq!(stats.chan_recvs, 100, "{tuning:?}");
+        }
+    }
+
+    #[test]
+    fn emission_channel_is_deadlock_free_at_capacity_one() {
+        // The reorder buffer's explicit bound: even with the tightest
+        // pipeline buffer (capacity 1, serial tail) and every wait
+        // policy, the window-sized emission channel can never fill, so
+        // no send blocks and the run terminates. Before the channel
+        // migration this bound was implicit in the in-place sink; this
+        // regression pins it now that emission really buffers.
+        for tuning in tunings() {
+            let pipe = Pipeline::new()
+                .farm_stage("head", 4, |_, x: &mut u64| *x = x.wrapping_mul(31))
+                .stage("tail", |_, _| {})
+                .capacity(1);
+            let mut pool = WorkerPool::new(4);
+            let frames = WINDOW + 7; // cross a window boundary too
+            let mut got = Vec::new();
+            let stats = run_pipeline_tuned(
+                &pipe,
+                frames,
+                EmitMode::Ordered,
+                tuning,
+                &mut pool,
+                &NullProbe,
+                |f| f as u64,
+                |f, _| got.push(f),
+            )
+            .unwrap();
+            assert_eq!(got, (0..frames).collect::<Vec<_>>(), "{tuning:?}");
+            assert_eq!(stats.chan_full_stalls, 0, "{tuning:?}: emission filled up");
+        }
     }
 
     ezp_proptest! {
