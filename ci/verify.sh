@@ -297,4 +297,111 @@ stream_dir="$(mktemp -d)"
 )
 rm -rf "$stream_dir"
 
+# Serve lane (docs/serving.md): one persistent daemon, a good job via
+# the submit client, an over-quota rejection with a retry-after hint,
+# per-tenant counters in the stats JSON, and a clean remote stop.
+serve_dir="$(mktemp -d)"
+(
+    cd "$serve_dir"
+    port=39473
+    "$OLDPWD/target/release/easypap" serve --port "$port" --workers 1 \
+        --slots 1 --queue-cap 1 --max-tenants 4 \
+        > serve_summary.out 2> serve.log &
+    serve_pid=$!
+    up=0
+    for _ in $(seq 1 100); do
+        if "$OLDPWD/target/release/easypap" submit --port "$port" \
+            --server-stats > /dev/null 2>&1; then up=1; break; fi
+        sleep 0.1
+    done
+    if [ "$up" != 1 ]; then
+        echo "error: easypap serve never came up" >&2
+        cat serve.log >&2
+        exit 1
+    fi
+
+    "$OLDPWD/target/release/easypap" submit --port "$port" --kernel mandel \
+        --variant seq -s 64 -i 2 --tenant ci > submit.out
+    grep -q "(tenant ci) done: 2 iteration(s)" submit.out
+    grep -qE "digest [0-9a-f]{16}" submit.out
+
+    # over-quota: two stalled jobs occupy the single runner slot and the
+    # 1-deep admission lane; the third must bounce with a retry hint
+    "$OLDPWD/target/release/easypap" submit --port "$port" --kernel mandel \
+        --variant seq -s 64 --tenant ci --stall-us 500000 > bg1.out &
+    bg1=$!
+    sleep 0.2
+    "$OLDPWD/target/release/easypap" submit --port "$port" --kernel mandel \
+        --variant seq -s 64 --tenant ci --stall-us 500000 > bg2.out &
+    bg2=$!
+    sleep 0.2
+    if "$OLDPWD/target/release/easypap" submit --port "$port" --kernel mandel \
+        --variant seq -s 64 --tenant ci 2> reject.err; then
+        echo "error: over-quota submit was not rejected" >&2
+        exit 1
+    fi
+    grep -q "rejected" reject.err
+    grep -q "retry after" reject.err
+    wait "$bg1" "$bg2"
+
+    "$OLDPWD/target/release/easypap" submit --port "$port" --server-stats \
+        > stats.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - stats.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+row = next(t for t in doc["tenants"] if t["tenant"] == "ci")
+assert row["jobs_admitted"] == 3, row
+assert row["jobs_completed"] == 3, row
+assert row["jobs_rejected"] >= 1, row
+assert row["tenant_queue_depth"] >= 1, row
+assert "tenant_idle_ns" in row, row
+print(f"verify: serve per-tenant counters OK ({row['jobs_admitted']} admitted, "
+      f"{row['jobs_rejected']} rejected for tenant ci)")
+EOF
+    else
+        for key in jobs_admitted jobs_rejected jobs_completed \
+                   tenant_queue_depth tenant_idle_ns; do
+            grep -q "\"$key\"" stats.json
+        done
+        echo "verify: serve per-tenant counters OK (grep fallback)"
+    fi
+
+    "$OLDPWD/target/release/easypap" submit --port "$port" --stop > stop.out
+    grep -q "acknowledged shutdown" stop.out
+    wait "$serve_pid"
+    grep -q "served 3 job(s) (3 completed, 0 cancelled, 0 failed), 1 rejected" \
+        serve_summary.out
+    echo "verify: serve smoke OK (job + rejection + stats + remote stop)"
+)
+rm -rf "$serve_dir"
+
+# Multi-tenant throughput gate: the synthetic replay bench must show
+# >= 1.3x the serialized jobs/sec at 4 concurrent tenants — the shared
+# worker-pool mux actually overlapping independent jobs. Absolute
+# gate (not baseline-relative): the ratio is self-normalizing.
+serve_json="$(mktemp)"
+EZP_BENCH_SMOKE=1 EZP_BENCH_JSON="$serve_json" \
+    cargo bench -q --offline -p ezp-bench --bench serve >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$serve_json" ci/BENCH_serve.json <<'EOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+speedup = cur["speedup_at_4_tenants"]
+print(f"verify: bench serve 4-tenant speedup {speedup:.2f}x "
+      f"(baseline {base['speedup_at_4_tenants']:.2f}x, gate 1.30x)")
+if speedup < 1.3:
+    sys.exit("verify: serve bench below the 1.3x multi-tenant gate")
+print("verify: serve bench above the 1.3x multi-tenant gate")
+EOF
+else
+    for key in serialized_jobs_per_sec concurrent_jobs_per_sec \
+               speedup_at_4_tenants; do
+        grep -q "\"$key\"" "$serve_json"
+    done
+    echo "verify: serve bench JSON OK (grep fallback, no speedup gate)"
+fi
+rm -f "$serve_json"
+
 echo "verify: OK (offline build + tests green, no registry deps, stats JSON parses)"

@@ -1,0 +1,123 @@
+//! Synthetic replay load for `ezp-serve`: N closed-loop tenants submit
+//! jobs over real loopback TCP against one daemon, and we report
+//! jobs/sec at 1/2/4/8 concurrent tenants — the numbers behind
+//! `ci/BENCH_serve.json`.
+//!
+//! Each replayed job carries a `stall_us` ingest latency (the time a
+//! real deployment would spend fetching the request's input). Stalls
+//! overlap across the daemon's runner slots while compute serializes
+//! on the CPU, so multi-tenant throughput must beat the serialized
+//! (single-tenant, one-in-flight) baseline even on a single hardware
+//! thread; `ci/verify.sh` gates on >= 1.3x at 4 tenants.
+//!
+//! Run with `cargo bench -p ezp-bench --bench serve`.
+//!
+//! * `EZP_BENCH_CSV=path` appends every result as CSV.
+//! * `EZP_BENCH_JSON=path` writes the summary JSON.
+//! * `EZP_BENCH_SMOKE=1` shrinks job counts so the lane finishes in
+//!   seconds.
+
+use ezp_serve::{Client, JobSpec, Response, ServeConfig, Server};
+use ezp_testkit::{Bench, BenchSet};
+
+const TENANT_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Synthetic ingest latency per job; overlaps across runner slots.
+const STALL_US: u64 = 2_500;
+
+fn smoke() -> bool {
+    std::env::var("EZP_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+fn job(tenant: &str) -> JobSpec {
+    JobSpec {
+        kernel: "mandel".into(),
+        variant: "seq".into(),
+        size: 64,
+        tile: 16,
+        iterations: 1,
+        threads: 1,
+        tenant: Some(tenant.into()),
+        stall_us: STALL_US,
+    }
+}
+
+/// One replay round: `tenants` closed-loop clients, each submitting
+/// `jobs_each` jobs back to back over its own connection. Returns once
+/// every job has its terminal response.
+fn replay(addr: &str, tenants: usize, jobs_each: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..tenants {
+            let tenant = format!("tenant-{t}");
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let spec = job(&tenant);
+                for _ in 0..jobs_each {
+                    match client.submit_retrying(&spec).expect("submit") {
+                        Response::Done { .. } => {}
+                        other => panic!("job did not complete: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let jobs_each: usize = if smoke() { 4 } else { 16 };
+    let (warmup, samples) = if smoke() { (1, 3) } else { (2, 7) };
+    let mut set = BenchSet::with_config(Bench::new().warmup(warmup).samples(samples));
+
+    // one daemon for the whole sweep: four single-worker slots so up
+    // to four jobs overlap their stalls, like a deployed instance
+    let server = Server::start(ServeConfig {
+        port: 0,
+        workers: 1,
+        slots: 4,
+        max_tenants: TENANT_SWEEP[3] + 1,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    })
+    .expect("start daemon");
+    let addr = server.addr().to_string();
+
+    let mut rates = Vec::new();
+    for &tenants in &TENANT_SWEEP {
+        let total = (tenants * jobs_each) as f64;
+        let r = set.bench("serve_replay", &format!("{tenants}t"), || {
+            replay(&addr, tenants, jobs_each)
+        });
+        rates.push(total * 1e9 / r.min_ns.max(1) as f64);
+    }
+    let serialized = rates[0];
+    let at4 = rates[TENANT_SWEEP.iter().position(|&t| t == 4).unwrap()];
+    let summary = server.shutdown();
+    let (admitted, rejected, completed, cancelled, failed) = summary.totals;
+    assert_eq!(admitted, completed + cancelled + failed, "job accounting must balance");
+
+    print!("{}", set.table());
+    println!(
+        "serialized {serialized:.1} jobs/s; 4 tenants {at4:.1} jobs/s ({:.2}x); \
+         {admitted} admitted, {rejected} rejected, {} pool leases",
+        at4 / serialized.max(1e-9),
+        summary.mux.leases
+    );
+    if let Ok(path) = std::env::var("EZP_BENCH_CSV") {
+        set.write_csv(std::path::Path::new(&path)).unwrap();
+    }
+    if let Ok(path) = std::env::var("EZP_BENCH_JSON") {
+        let mode = if smoke() { "smoke" } else { "full" };
+        let rate_list: Vec<String> = rates.iter().map(|r| format!("{r:.1}")).collect();
+        let body = format!(
+            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{mode}\",\n  \
+             \"tenants\": [1, 2, 4, 8],\n  \"jobs_per_tenant\": {jobs_each},\n  \
+             \"stall_us\": {STALL_US},\n  \
+             \"serialized_jobs_per_sec\": {serialized:.1},\n  \
+             \"concurrent_jobs_per_sec\": [{}],\n  \
+             \"speedup_at_4_tenants\": {:.2}\n}}\n",
+            rate_list.join(", "),
+            at4 / serialized.max(1e-9),
+        );
+        std::fs::write(&path, body).unwrap();
+        eprintln!("wrote {path}");
+    }
+}

@@ -24,6 +24,13 @@ where
     S: AsRef<str>,
 {
     let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    // subcommands come first, before the flag grammar: `easypap serve`
+    // runs the persistent daemon, `easypap submit` is its client
+    match args.first().map(String::as_str) {
+        Some("serve") => return crate::serve_cmd::run_serve(&args[1..]),
+        Some("submit") => return crate::serve_cmd::run_submit(&args[1..]),
+        _ => {}
+    }
     // `easypap --list`: enumerate kernels and variants, like the original
     // framework's discovery of `<kernel>_compute_<variant>` symbols
     if args.iter().any(|a| a == "--list" || a == "-l") {
@@ -183,15 +190,15 @@ fn run_stream(cfg: RunConfig) -> Result<String> {
     })?;
     let mut out = String::new();
     if !cfg.stage_widths.is_empty() {
-        // built-in demos fix their own stage shapes; only the farm
-        // width is tunable from the command line
-        writeln!(
-            out,
-            "note: --stages is ignored for built-in streaming kernels (use --farm-width)"
-        )
-        .unwrap();
+        // the built-in demos fix their own stage shapes, so accepting
+        // `--stages` here would silently do nothing — reject instead
+        return Err(Error::Config(format!(
+            "--stages is not supported by built-in streaming kernel '{}' \
+             (its stage shape is fixed; tune --farm-width instead)",
+            cfg.kernel
+        )));
     }
-    let mut pool = ezp_sched::WorkerPool::new(cfg.threads);
+    let mut pool = ezp_sched::acquire_pool(cfg.threads);
     let farm_width = if cfg.farm_width == 0 { cfg.threads } else { cfg.farm_width };
     let perf = if cfg.stats.is_some() || cfg.trace_events.is_some() {
         Some(Arc::new(PerfProbe::new(cfg.threads)))
@@ -792,5 +799,22 @@ mod tests {
         assert!(run_easypap(["--bogus"]).is_err());
         assert!(run_easypap(["--kernel", "unknown-kernel", "--no-display"]).is_err());
         assert!(run_easypap(["--kernel", "mandel", "--variant", "nope", "--no-display"]).is_err());
+    }
+
+    /// `--stages` used to be accepted and silently ignored for the
+    /// built-in (fixed-shape) streaming demos; now it is a config
+    /// error that names the alternative.
+    #[test]
+    fn stages_on_fixed_shape_streaming_kernels_is_rejected() {
+        for kernel in ["mandel_zoom", "frame_diff", "wordcount"] {
+            let err = run_easypap([
+                "--kernel", kernel, "--stream=2", "--stages", "1,2,1", "--no-display",
+            ])
+            .expect_err("--stages must be rejected")
+            .to_string();
+            assert!(err.contains("--stages is not supported"), "got: {err}");
+            assert!(err.contains(kernel), "names the kernel: {err}");
+            assert!(err.contains("--farm-width"), "points at the knob: {err}");
+        }
     }
 }

@@ -19,7 +19,29 @@
 pub mod easypap;
 pub mod easyplot;
 pub mod easyview;
+pub mod serve_cmd;
 
 pub use easypap::run_easypap;
 pub use easyplot::run_easyplot;
 pub use easyview::run_easyview;
+
+/// Prints a command's output to stdout and maps I/O failures to an
+/// exit code: a broken pipe (`easypap ... | head`) is a normal way for
+/// a consumer to say "enough" and exits 0; any other write error is
+/// reported and exits 1.
+///
+/// The `src/bin/*.rs` wrappers ended with `print!("{out}")`, which
+/// panics on `EPIPE` because Rust disables `SIGPIPE` — piping a run
+/// into `head -1` produced a panic trace instead of a clean exit.
+pub fn emit(out: &str) -> i32 {
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout().lock();
+    match stdout.write_all(out.as_bytes()).and_then(|()| stdout.flush()) {
+        Ok(()) => 0,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+        Err(e) => {
+            eprintln!("error writing to stdout: {e}");
+            1
+        }
+    }
+}

@@ -558,11 +558,11 @@ impl RunConfig {
             && (self.wait_policy != WaitPolicy::default()
                 || self.chan_backend != ChanBackendKind::default())
         {
-            // channel knobs only steer the streaming frame driver today;
-            // rejecting them elsewhere keeps "accepted flag == effective
-            // flag" true
+            // channel knobs steer the streaming frame driver and the
+            // serve-mode admission lanes; rejecting them elsewhere keeps
+            // "accepted flag == effective flag" true
             return Err(Error::Config(
-                "--wait-policy/--chan-backend require --stream=N".into(),
+                "--wait-policy/--chan-backend require --stream=N (or `easypap serve`)".into(),
             ));
         }
         Ok(())
@@ -915,5 +915,36 @@ mod tests {
     fn grain_is_an_alias_for_tile_size() {
         let cfg = RunConfig::parse_args(["--kernel", "mandel", "--grain", "16"]).unwrap();
         assert_eq!(cfg.tile_size, 16);
+    }
+
+    /// Every enum-valued flag names the accepted set when handed an
+    /// unknown value — the error is the documentation.
+    #[test]
+    fn unknown_enum_values_name_the_accepted_set() {
+        let msg = |args: &[&str]| {
+            RunConfig::parse_args(args.iter().copied())
+                .expect_err("bogus value must not parse")
+                .to_string()
+        };
+        let m = msg(&["--kernel", "x", "--stream=4", "--wait-policy=banana"]);
+        assert!(m.contains("expected spin, yield or park"), "got: {m}");
+        assert!(m.contains("banana"), "echoes the offender: {m}");
+        let m = msg(&["--kernel", "x", "--stream=4", "--chan-backend=tcp"]);
+        assert!(m.contains("expected ring or mpsc"), "got: {m}");
+        let m = msg(&["--kernel", "x", "--stream=4", "--stream-mode=random"]);
+        assert!(m.contains("expected ordered or unordered"), "got: {m}");
+        let m = msg(&["--kernel", "x", "--stats=xml"]);
+        assert!(m.contains("expected text, json or csv"), "got: {m}");
+    }
+
+    /// Channel knobs off the streaming/serve paths are rejected, and the
+    /// rejection points at both legitimate homes.
+    #[test]
+    fn chan_knob_rejection_mentions_serve_mode() {
+        let err = RunConfig::parse_args(["--kernel", "x", "--wait-policy=spin"])
+            .expect_err("knob without --stream")
+            .to_string();
+        assert!(err.contains("--stream=N"), "got: {err}");
+        assert!(err.contains("easypap serve"), "got: {err}");
     }
 }

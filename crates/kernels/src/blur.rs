@@ -11,7 +11,7 @@
 
 use ezp_core::error::{Error, Result};
 use ezp_core::{Img2D, Kernel, KernelCtx, Rgba, Tile};
-use ezp_sched::{parallel_for_tiles, ImgCell, WorkerPool};
+use ezp_sched::{parallel_for_tiles, ImgCell};
 
 /// Average of the up-to-9 neighbours of `(x, y)`, with bounds checks —
 /// the "poor performance" branchy version that is nonetheless correct
@@ -119,7 +119,7 @@ impl Blur {
         let dim = ctx.dim();
         let grid = ctx.grid;
         let schedule = ctx.cfg.schedule;
-        let mut pool = WorkerPool::new(ctx.threads());
+        let mut pool = ezp_sched::acquire_pool(ctx.threads());
         for it in 1..=nb_iter {
             ctx.probe.iteration_start(it);
             {

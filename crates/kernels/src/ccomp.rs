@@ -236,7 +236,7 @@ impl Kernel for CComp {
                 Ok(None)
             }
             "taskdep" => {
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     let changed = self.iterate_taskdep_monitored(ctx, &grid, &mut pool)?;

@@ -10,7 +10,7 @@
 use ezp_core::color::heat_color;
 use ezp_core::error::{Error, Result};
 use ezp_core::{Img2D, Kernel, KernelCtx};
-use ezp_sched::{parallel_for_tiles_img, ImgCell, WorkerPool};
+use ezp_sched::{parallel_for_tiles_img, ImgCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Diffusion coefficient (stability requires `k <= 0.25`).
@@ -135,7 +135,7 @@ impl Kernel for Heat {
             }
             "omp_tiled" => {
                 let schedule = ctx.cfg.schedule;
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     let changed = AtomicBool::new(false);

@@ -5,7 +5,7 @@
 use ezp_core::error::{Error, Result};
 use ezp_core::{Kernel, KernelCtx, Rgba, TileGrid};
 use ezp_gpu::{NdRange, VirtualDevice};
-use ezp_sched::{parallel_for_tiles_img, WorkerPool};
+use ezp_sched::parallel_for_tiles_img;
 
 /// RGB complement, alpha preserved.
 #[inline]
@@ -47,7 +47,7 @@ impl Kernel for Invert {
                 // row-shaped tiles, like `#pragma omp parallel for` over lines
                 let grid = TileGrid::new(dim, dim, dim, 1)?;
                 let schedule = ctx.cfg.schedule;
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     parallel_for_tiles_img(

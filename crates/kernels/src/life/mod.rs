@@ -24,7 +24,7 @@ use ezp_core::kernel::Probe;
 use ezp_core::{Kernel, KernelCtx, Rgba, TileGrid};
 use ezp_monitor::{Monitor, MonitorReport};
 use ezp_mpi::{collective, ghost, BlockRows, CommStats};
-use ezp_sched::{parallel_for_range_probed, WorkerPool};
+use ezp_sched::parallel_for_range_probed;
 use ezp_testkit::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -145,7 +145,7 @@ impl Life {
         let band = ctx.cfg.tile_size.max(1);
         let bands = dim.div_ceil(band);
         let schedule = ctx.cfg.schedule;
-        let mut pool = WorkerPool::new(ctx.threads());
+        let mut pool = ezp_sched::acquire_pool(ctx.threads());
         for it in 1..=nb_iter {
             ctx.probe.iteration_start(it);
             let any_changed = AtomicBool::new(false);
@@ -178,7 +178,7 @@ impl Life {
     fn compute_tiled(&mut self, ctx: &mut KernelCtx, nb_iter: u32, lazy: bool) -> Option<u32> {
         let grid = ctx.grid;
         let schedule = ctx.cfg.schedule;
-        let mut pool = WorkerPool::new(ctx.threads());
+        let mut pool = ezp_sched::acquire_pool(ctx.threads());
         if self.changed.len() != grid.len() {
             self.changed = vec![true; grid.len()];
         }
@@ -251,7 +251,7 @@ impl Life {
                 cur.set_row_words(y, row);
             }
             let monitor = Monitor::new(threads.max(1), grid);
-            let mut pool = WorkerPool::new(threads.max(1));
+            let mut pool = ezp_sched::acquire_pool(threads.max(1));
             // tiles whose row range intersects this rank's block
             let my_tiles: Vec<usize> = (0..grid.len())
                 .filter(|&i| {

@@ -13,7 +13,7 @@ use ezp_core::color::mandel_color;
 use ezp_core::error::{Error, Result};
 use ezp_core::{Kernel, KernelCtx, Rgba, Tile, TileGrid};
 use ezp_gpu::{NdRange, VirtualDevice};
-use ezp_sched::{parallel_for_tiles_img, WorkerPool};
+use ezp_sched::parallel_for_tiles_img;
 
 /// Default escape-time iteration cap. Large enough to show the black
 /// interior, small enough for laptop-scale runs.
@@ -229,7 +229,7 @@ impl Mandel {
         } else {
             ctx.grid
         };
-        let mut pool = WorkerPool::new(ctx.threads());
+        let mut pool = ezp_sched::acquire_pool(ctx.threads());
         let schedule = ctx.cfg.schedule;
         for it in 1..=nb_iter {
             ctx.probe.iteration_start(it);
@@ -265,7 +265,7 @@ impl Mandel {
     fn compute_parallel_x4(&mut self, ctx: &mut KernelCtx, nb_iter: u32) -> Result<()> {
         let dim = ctx.dim();
         let grid = ctx.grid;
-        let mut pool = WorkerPool::new(ctx.threads());
+        let mut pool = ezp_sched::acquire_pool(ctx.threads());
         let schedule = ctx.cfg.schedule;
         for it in 1..=nb_iter {
             ctx.probe.iteration_start(it);

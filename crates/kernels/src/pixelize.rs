@@ -4,7 +4,7 @@
 
 use ezp_core::error::{Error, Result};
 use ezp_core::{Img2D, Kernel, KernelCtx, Rgba, Tile};
-use ezp_sched::{parallel_for_tiles_img, ImgCell, WorkerPool};
+use ezp_sched::{parallel_for_tiles_img, ImgCell};
 
 /// Average color of `tile` in `img`.
 pub fn tile_average(img: &Img2D<Rgba>, tile: Tile) -> Rgba {
@@ -71,7 +71,7 @@ impl Kernel for Pixelize {
             }
             "omp_tiled" => {
                 let schedule = ctx.cfg.schedule;
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     {

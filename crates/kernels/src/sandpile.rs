@@ -9,7 +9,7 @@
 
 use ezp_core::error::{Error, Result};
 use ezp_core::{Img2D, Kernel, KernelCtx, Rgba};
-use ezp_sched::{parallel_for_tiles_img, WorkerPool};
+use ezp_sched::parallel_for_tiles_img;
 
 /// Synchronous sandpile step of one tile: `next = cur - 4*(cur>=4) +
 /// incoming topples`. Returns true when the tile changed.
@@ -155,7 +155,7 @@ impl Sandpile {
     fn compute_tiled(&mut self, ctx: &mut KernelCtx, nb_iter: u32) -> Option<u32> {
         let grid = ctx.grid;
         let schedule = ctx.cfg.schedule;
-        let mut pool = WorkerPool::new(ctx.threads());
+        let mut pool = ezp_sched::acquire_pool(ctx.threads());
         for it in 1..=nb_iter {
             ctx.probe.iteration_start(it);
             let changed = std::sync::atomic::AtomicBool::new(false);

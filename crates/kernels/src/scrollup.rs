@@ -4,7 +4,7 @@
 
 use ezp_core::error::{Error, Result};
 use ezp_core::{Kernel, KernelCtx};
-use ezp_sched::{parallel_for_tiles, ImgCell, WorkerPool};
+use ezp_sched::{parallel_for_tiles, ImgCell};
 
 /// The scrollup kernel.
 #[derive(Default)]
@@ -46,7 +46,7 @@ impl Kernel for Scrollup {
             "omp_tiled" => {
                 let grid = ctx.grid;
                 let schedule = ctx.cfg.schedule;
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     {

@@ -7,7 +7,7 @@
 use ezp_core::color::hsv_to_rgba;
 use ezp_core::error::{Error, Result};
 use ezp_core::{Kernel, KernelCtx, Rgba};
-use ezp_sched::{parallel_for_tiles_img, WorkerPool};
+use ezp_sched::parallel_for_tiles_img;
 
 /// Pixel color for rotation angle `base_angle` (degrees).
 #[inline]
@@ -62,7 +62,7 @@ impl Kernel for Spin {
             "omp_tiled" => {
                 let grid = ctx.grid;
                 let schedule = ctx.cfg.schedule;
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     let angle = self.angle;

@@ -7,7 +7,7 @@
 
 use ezp_core::error::{Error, Result};
 use ezp_core::{Kernel, KernelCtx};
-use ezp_sched::{parallel_for_tiles, ImgCell, WorkerPool};
+use ezp_sched::{parallel_for_tiles, ImgCell};
 
 /// The transpose kernel.
 #[derive(Default)]
@@ -50,7 +50,7 @@ impl Kernel for Transpose {
             "omp_tiled" => {
                 let grid = ctx.grid;
                 let schedule = ctx.cfg.schedule;
-                let mut pool = WorkerPool::new(ctx.threads());
+                let mut pool = ezp_sched::acquire_pool(ctx.threads());
                 for it in 1..=nb_iter {
                     ctx.probe.iteration_start(it);
                     {

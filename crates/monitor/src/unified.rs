@@ -25,6 +25,9 @@ pub struct UnifiedReport {
     /// Latency-distribution summaries (task/frame percentiles), when a
     /// `PerfProbe` ran.
     pub histograms: Vec<HistSummary>,
+    /// The tenant this report belongs to, when the run was executed by
+    /// `ezp-serve` on behalf of a client (None for standalone CLI runs).
+    pub tenant: Option<String>,
 }
 
 impl UnifiedReport {
@@ -39,7 +42,15 @@ impl UnifiedReport {
             counters,
             spans,
             histograms: Vec::new(),
+            tenant: None,
         }
+    }
+
+    /// The same report tagged with the owning tenant (builder style,
+    /// used by `ezp-serve` for per-job reports).
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.tenant = Some(tenant.to_string());
+        self
     }
 
     /// The same report carrying latency-percentile summaries (builder
@@ -88,10 +99,12 @@ impl UnifiedReport {
 
     /// The whole report as one JSON object — what `--stats=json` prints.
     pub fn to_json(&self) -> Json {
-        let mut pairs = vec![
-            ("counters", self.counters.to_json()),
-            ("spans", self.spans.to_json()),
-        ];
+        let mut pairs = Vec::new();
+        if let Some(tenant) = &self.tenant {
+            pairs.push(("tenant", tenant.to_json()));
+        }
+        pairs.push(("counters", self.counters.to_json()));
+        pairs.push(("spans", self.spans.to_json()));
         if !self.histograms.is_empty() {
             pairs.push(("histograms", self.histograms.to_json()));
         }
@@ -237,6 +250,14 @@ mod tests {
         assert!(text.contains("# iter 1:"), "{text}");
         assert!(text.contains("# span iteration: 2 x, 180 ns total"), "{text}");
         assert!(text.contains("ezp_tasks_executed 2"), "{text}");
+    }
+
+    #[test]
+    fn tenant_tag_appears_in_json_when_set() {
+        let rep = sample().with_tenant("acme");
+        let j = Json::parse(&rep.to_json().dump()).unwrap();
+        assert_eq!(j.field::<String>("tenant").unwrap(), "acme");
+        assert!(sample().to_json().get("tenant").is_none());
     }
 
     #[test]

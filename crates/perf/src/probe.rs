@@ -86,6 +86,38 @@ pub mod names {
     pub const CHAN_FULL_STALLS: &str = "chan_full_stalls";
     /// Receiver stall episodes on an empty channel.
     pub const CHAN_EMPTY_STALLS: &str = "chan_empty_stalls";
+    /// Jobs accepted into a tenant's admission queue by `ezp-serve`.
+    /// Serve counters use the worker dimension as the *tenant slot*:
+    /// `worker="2"` is tenant slot 2, not a pool thread.
+    pub const JOBS_ADMITTED: &str = "jobs_admitted";
+    /// Jobs refused with retry-after because the tenant's admission
+    /// queue (or the tenant table) was full.
+    pub const JOBS_REJECTED: &str = "jobs_rejected";
+    /// Jobs that ran to completion and streamed their report back.
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Admitted jobs dropped before or during execution because the
+    /// submitting client disconnected.
+    pub const JOBS_CANCELLED: &str = "jobs_cancelled";
+    /// Admitted jobs whose kernel run returned an error.
+    pub const JOBS_FAILED: &str = "jobs_failed";
+    /// High-water mark of a tenant's admission-queue depth (gauge,
+    /// folded with `max` per tenant slot).
+    pub const TENANT_QUEUE_DEPTH: &str = "tenant_queue_depth";
+    /// Nanoseconds a tenant's jobs spent queued before a runner picked
+    /// them up — the serve-side idle attribution ("who waits and why").
+    pub const TENANT_IDLE_NS: &str = "tenant_idle_ns";
+
+    /// Every serve-lane counter, in registration order (used by
+    /// `ezp-serve` and the docs/tests that assert the report shape).
+    pub const SERVE_COUNTERS: [&str; 7] = [
+        JOBS_ADMITTED,
+        JOBS_REJECTED,
+        JOBS_COMPLETED,
+        JOBS_CANCELLED,
+        JOBS_FAILED,
+        TENANT_QUEUE_DEPTH,
+        TENANT_IDLE_NS,
+    ];
 }
 
 /// Span names for the per-cause idle intervals, indexed like

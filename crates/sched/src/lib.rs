@@ -34,6 +34,7 @@
 pub mod deque;
 pub mod dispenser;
 pub mod img_cell;
+pub mod mux;
 pub mod parallel;
 pub use ezp_core::park;
 pub mod pool;
@@ -45,6 +46,7 @@ pub mod vexec;
 pub use deque::{Steal, TaskDeque};
 pub use dispenser::{dispenser_for, Dispenser, StealStats};
 pub use img_cell::{ImgCell, TileWriter};
+pub use mux::{acquire_pool, MuxStats, PoolHandle, PoolLease, PoolMux};
 pub use parallel::{
     parallel_for_range, parallel_for_range_probed, parallel_for_tiles, parallel_for_tiles_img,
 };

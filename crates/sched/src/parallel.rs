@@ -49,7 +49,7 @@ pub fn parallel_for_range_probed(
         // loop that never existed.
         return;
     }
-    let threads = pool.threads();
+    let threads = pool.width();
     let disp = dispenser_for(schedule, n, threads);
     let timed = probe.wants_runtime_events();
     run_region_probed(pool, probe, timed, |rank| {
@@ -87,7 +87,7 @@ pub fn parallel_for_tiles(
     if grid.len() == 0 {
         return;
     }
-    let threads = pool.threads();
+    let threads = pool.width();
     let disp = dispenser_for(schedule, grid.len(), threads);
     let timed = probe.wants_runtime_events();
     run_region_probed(pool, probe, timed, |rank| {

@@ -141,6 +141,12 @@ pub struct WorkerPool {
     state: Arc<PoolState>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Logical width: how many ranks a region dispatches work to.
+    /// Always `1..=threads`; ranks `>= width` still wake for the epoch
+    /// (the `remaining` accounting covers every worker) but return
+    /// immediately, so one pool can serve jobs narrower than itself —
+    /// the property `PoolMux` leases rely on.
+    width: usize,
     next_seq: u64,
 }
 
@@ -174,6 +180,7 @@ impl WorkerPool {
             state,
             handles,
             threads,
+            width: threads,
             next_seq: 0,
         }
     }
@@ -181,6 +188,24 @@ impl WorkerPool {
     /// Number of workers.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Logical width: the number of ranks [`WorkerPool::run`] hands work
+    /// to. Defaults to [`WorkerPool::threads`]; narrowed by
+    /// [`WorkerPool::set_width`] when a wide shared pool runs a job that
+    /// asked for fewer workers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Limits subsequent regions to `n` working ranks (clamped to
+    /// `1..=threads`). Ranks `>= n` still participate in the epoch
+    /// protocol (wake, decrement `remaining`) but run no user code, so
+    /// the seqlock launch/close argument is untouched. Schedulers that
+    /// size their dispensers off the pool must read
+    /// [`WorkerPool::width`], not [`WorkerPool::threads`].
+    pub fn set_width(&mut self, n: usize) {
+        self.width = n.clamp(1, self.threads);
     }
 
     /// Number of parallel regions this pool has executed — a cheap
@@ -204,14 +229,31 @@ impl WorkerPool {
         }
     }
 
-    /// Runs one parallel region: every worker executes `f(rank)` exactly
-    /// once; returns when all are done.
+    /// Runs one parallel region: every rank `< width()` executes
+    /// `f(rank)` exactly once; returns when all workers are done.
     ///
     /// # Panics
     ///
     /// Panics if any worker panicked inside `f` (after the region has
     /// fully completed, so the pool stays usable).
     pub fn run(&mut self, f: impl Fn(usize) + Sync) {
+        if self.width == self.threads {
+            self.dispatch(&f);
+        } else {
+            let width = self.width;
+            self.dispatch(&|rank| {
+                if rank < width {
+                    f(rank);
+                }
+            });
+        }
+    }
+
+    /// Dispatches one epoch to every worker (the full seqlock protocol;
+    /// see the module docs). Width limiting happens in the wrappers —
+    /// this layer always involves all `threads` workers so `remaining`
+    /// accounting stays uniform.
+    fn dispatch(&mut self, f: &(dyn Fn(usize) + Sync)) {
         self.next_seq += 1;
         let seq = self.next_seq;
         let state = &*self.state;
@@ -221,12 +263,13 @@ impl WorkerPool {
         // act after observing the epoch bump).
         state.panics.store(0, Ordering::Relaxed);
         state.remaining.store(self.threads, Ordering::Relaxed);
-        let ptr: *const (dyn Fn(usize) + Sync) = &f;
+        let ptr: *const (dyn Fn(usize) + Sync) = f;
         // SAFETY: the transmute only erases the pointee's lifetime to
-        // `'static`. The pointee outlives every dereference because this
-        // function owns `f` and blocks until `done_seq == seq` (protocol
-        // step 4), which happens-after the last worker's use of the
-        // pointer — so no worker can dereference it after `f` is dropped.
+        // `'static`. The pointee outlives every dereference because `f`
+        // lives in the caller's frame and this function blocks until
+        // `done_seq == seq` (protocol step 4), which happens-after the
+        // last worker's use of the pointer — so no worker can
+        // dereference it after `f` is dropped.
         let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
         // SAFETY: the pool is quiescent (protocol step 1) — no worker
         // reads the cell until the `job_seq` store below.
@@ -245,17 +288,18 @@ impl WorkerPool {
     }
 
     /// Runs a region over exactly `n` conceptual workers even when the
-    /// pool is larger or smaller: ranks `>= n` return immediately.
-    /// Convenient for `--threads` smaller than the pool.
+    /// pool (or its current width) is larger or smaller: ranks `>= n`
+    /// return immediately. Convenient for `--threads` smaller than the
+    /// pool.
     ///
     /// `n == 0` is a no-op: no region is dispatched, so `regions_run`
     /// and the per-region perf counters are untouched.
     pub fn run_limited(&mut self, n: usize, f: impl Fn(usize) + Sync) {
-        let n = n.min(self.threads);
+        let n = n.min(self.width);
         if n == 0 {
             return;
         }
-        self.run(|rank| {
+        self.dispatch(&|rank| {
             if rank < n {
                 f(rank);
             }
@@ -390,6 +434,55 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
         assert_eq!(pool.regions_run(), 1);
+    }
+
+    #[test]
+    fn width_limits_ranks_and_is_reversible() {
+        let mut pool = WorkerPool::new(4);
+        assert_eq!(pool.width(), 4);
+        pool.set_width(2);
+        let hits = [const { AtomicU64::new(0) }; 4];
+        pool.run(|rank| {
+            hits[rank].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits[0].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[2].load(Ordering::Relaxed), 0);
+        assert_eq!(hits[3].load(Ordering::Relaxed), 0);
+        // widen back: all ranks participate again
+        pool.set_width(4);
+        pool.run(|rank| {
+            hits[rank].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert!(h.load(Ordering::Relaxed) >= 1);
+        }
+        assert_eq!(hits[2].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn width_is_clamped_to_pool_size() {
+        let mut pool = WorkerPool::new(2);
+        pool.set_width(9);
+        assert_eq!(pool.width(), 2);
+        pool.set_width(0);
+        assert_eq!(pool.width(), 1);
+        let count = AtomicU64::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_limited_respects_width() {
+        let mut pool = WorkerPool::new(4);
+        pool.set_width(2);
+        let count = AtomicU64::new(0);
+        pool.run_limited(4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2, "run_limited may not exceed width");
     }
 
     #[test]

@@ -220,7 +220,7 @@ impl TaskGraph {
         if probe.wants_dep_edges() {
             self.for_each_edge(|from, to, kind| probe.dep_edge(from, to, kind));
         }
-        let threads = pool.threads();
+        let threads = pool.width();
         let indegree: Vec<AtomicUsize> =
             self.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
         // One deque per worker, each sized for the whole graph: a worker

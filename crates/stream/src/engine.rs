@@ -138,7 +138,7 @@ pub fn run_pipeline_tuned<T: Send>(
     let max_occupancy = AtomicUsize::new(0);
     let mut max_reorder_depth = 0usize;
     let mut chan_stats = ChanStats::default();
-    let lanes = pool.threads().max(1);
+    let lanes = pool.width().max(1);
 
     let mut base = 0usize;
     while base < frames {

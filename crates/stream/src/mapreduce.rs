@@ -45,7 +45,7 @@ pub fn map_reduce<A: Send>(
     let leaf = leaf.max(1);
     let leaves = n.div_ceil(leaf);
     let slots: Vec<Mutex<Option<A>>> = (0..leaves).map(|_| Mutex::new(None)).collect();
-    let disp = dispenser_for(schedule, leaves, pool.threads());
+    let disp = dispenser_for(schedule, leaves, pool.width());
 
     {
         let disp = &*disp;
