@@ -18,7 +18,7 @@ use ezp_core::park::ParkLot;
 use ezp_core::time::now_ns;
 use ezp_core::ChanTuning;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The tenant name used when a job arrives without one.
 pub const DEFAULT_TENANT: &str = "default";
@@ -111,6 +111,11 @@ pub struct Admission {
     admit_seq: AtomicU64,
     /// Set once at shutdown; parked runners re-check it on wake.
     closed: AtomicBool,
+    /// Serializes `submit`'s closed-check + enqueue against `close`'s
+    /// closed-store: once `close` holds this lock, no job can slip into
+    /// a lane after runners' final post-close drain, so every admitted
+    /// job reaches a terminal state.
+    gate: Mutex<()>,
     park: ParkLot,
     next_job_id: AtomicU64,
     queue_cap: usize,
@@ -136,6 +141,7 @@ impl Admission {
             metrics,
             admit_seq: AtomicU64::new(0),
             closed: AtomicBool::new(false),
+            gate: Mutex::new(()),
             park: ParkLot::new(),
             next_job_id: AtomicU64::new(1),
             queue_cap,
@@ -170,11 +176,11 @@ impl Admission {
                 retry_after_ms: 1000,
             });
         };
-        if self.closed.load(Ordering::SeqCst) {
-            return Err(Reject {
-                reason: "server is shutting down".to_string(),
-                retry_after_ms: 0,
-            });
+        if let Err(why) = spec.validate() {
+            self.metrics.rejected(slot);
+            // retry_after_ms 0 = permanent: resubmitting the same spec
+            // can never succeed
+            return Err(Reject { reason: why, retry_after_ms: 0 });
         }
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
@@ -186,11 +192,23 @@ impl Admission {
             ticket,
             reply,
         };
+        // the gate orders this check + enqueue against `close`: a close
+        // cannot land between them, so an Ok send always happens-before
+        // `closed` turns true (and is therefore seen by the runners'
+        // final drain)
+        let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(Reject {
+                reason: "server is shutting down".to_string(),
+                retry_after_ms: 0,
+            });
+        }
         match self.lanes[slot].tx.try_send(job) {
             Ok(()) => {
                 let depth = self.lanes[slot].depth.fetch_add(1, Ordering::Relaxed) + 1;
-                self.metrics.admitted(slot, depth);
                 self.admit_seq.fetch_add(1, Ordering::SeqCst);
+                drop(gate);
+                self.metrics.admitted(slot, depth);
                 self.park.notify();
                 Ok((id, tenant, slot))
             }
@@ -237,17 +255,19 @@ impl Admission {
     /// drained — the runner should exit.
     pub fn next_job(&self, cursor: &AtomicUsize) -> Option<Job> {
         loop {
+            // sample the wake sequence BEFORE scanning: an admit that
+            // races the scan bumps admit_seq past `seen`, so wait_until
+            // falls through instead of parking over the queued job
+            let seen = self.admit_seq.load(Ordering::SeqCst);
             if let Some(job) = self.scan(cursor) {
                 return Some(job);
             }
             if self.closed.load(Ordering::SeqCst) {
-                // closed: one final scan already came up empty
-                return None;
+                // final drain AFTER observing `closed`: the gate orders
+                // every admitted enqueue before the closed-store, so
+                // this rescan sees any job that raced the close
+                return self.scan(cursor);
             }
-            let seen = self.admit_seq.load(Ordering::SeqCst);
-            // re-check after registering interest: an admit between the
-            // empty scan and here bumps admit_seq, so wait_until falls
-            // through immediately
             self.park.wait_until(|| {
                 self.admit_seq.load(Ordering::SeqCst) != seen
                     || self.closed.load(Ordering::SeqCst)
@@ -258,7 +278,9 @@ impl Admission {
     /// Closes admission: future submits are rejected, parked runners
     /// wake, and `next_job` returns `None` once the lanes are drained.
     pub fn close(&self) {
+        let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
         self.closed.store(true, Ordering::SeqCst);
+        drop(gate);
         self.park.notify();
     }
 
@@ -353,6 +375,79 @@ mod tests {
         // submits after close are rejected
         let rej = a.submit(spec("x"), JobTicket::new(), Arc::new(NullSink)).unwrap_err();
         assert!(rej.reason.contains("shutting down"));
+    }
+
+    #[test]
+    fn ping_pong_submits_are_never_lost_to_a_parking_race() {
+        // regression: `seen` sampled after the empty scan let an admit
+        // land in the scan→load window, so the predicate was already
+        // "satisfied" and the runner parked over a queued job. The
+        // ping-pong maximizes park/submit interleavings; a lost wakeup
+        // hangs the spin below (the consumer never drains job k).
+        let a = Arc::new(adm(1, 4));
+        let a2 = Arc::clone(&a);
+        let consumer = std::thread::spawn(move || {
+            let cursor = AtomicUsize::new(0);
+            let mut got = 0;
+            while a2.next_job(&cursor).is_some() {
+                got += 1;
+            }
+            got
+        });
+        let t = JobTicket::new();
+        for _ in 0..200 {
+            a.submit(spec("x"), Arc::clone(&t), Arc::new(NullSink)).unwrap();
+            while a.queued_now() > 0 {
+                std::thread::yield_now();
+            }
+        }
+        a.close();
+        assert_eq!(consumer.join().unwrap(), 200);
+    }
+
+    #[test]
+    fn a_submit_racing_close_cannot_strand_an_admitted_job() {
+        // regression: `closed` was checked before try_send without any
+        // ordering against close(), so a job could be enqueued after
+        // the runners' final drain — admitted but never terminal. The
+        // gate now orders every Ok enqueue before the closed-store, so
+        // the post-close drain must account for every admitted job.
+        for _ in 0..50 {
+            let a = Arc::new(adm(1, 64));
+            let a2 = Arc::clone(&a);
+            let producer = std::thread::spawn(move || {
+                let mut ok = 0u32;
+                for _ in 0..64 {
+                    match a2.submit(spec("x"), JobTicket::new(), Arc::new(NullSink)) {
+                        Ok(_) => ok += 1,
+                        Err(_) => break,
+                    }
+                }
+                ok
+            });
+            a.close();
+            let admitted = producer.join().unwrap();
+            let cursor = AtomicUsize::new(0);
+            let mut drained = 0;
+            while a.next_job(&cursor).is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, admitted, "admitted jobs lost at shutdown");
+        }
+    }
+
+    #[test]
+    fn oversized_specs_are_rejected_permanently() {
+        let a = adm(2, 4);
+        let mut big = spec("x");
+        big.size = 100_000;
+        let rej = a
+            .submit(big, JobTicket::new(), Arc::new(NullSink))
+            .unwrap_err();
+        assert!(rej.reason.contains("size"), "{}", rej.reason);
+        assert_eq!(rej.retry_after_ms, 0, "permanent rejection");
+        let (admitted, rejected, ..) = a.metrics.totals();
+        assert_eq!((admitted, rejected), (0, 1));
     }
 
     #[test]

@@ -65,12 +65,18 @@ impl Client {
 
     /// Submits a job, retrying rejected submissions until the daemon
     /// admits it. Sleeps for the server-suggested `retry_after_ms`
-    /// between attempts. Returns the terminal `done`/`failed` frame.
+    /// between attempts. Returns the terminal `done`/`failed` frame —
+    /// or the rejection itself when `retry_after_ms` is 0, the server's
+    /// way of saying the rejection is permanent (invalid spec,
+    /// shutdown) and resubmitting can never succeed.
     pub fn submit_retrying(&mut self, spec: &JobSpec) -> Result<Response> {
         loop {
             match self.submit(spec)? {
+                Response::Rejected { retry_after_ms: 0, reason } => {
+                    return Ok(Response::Rejected { retry_after_ms: 0, reason })
+                }
                 Response::Rejected { retry_after_ms, .. } => {
-                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1)));
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
                 }
                 terminal => return Ok(terminal),
             }

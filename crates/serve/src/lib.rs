@@ -48,5 +48,7 @@ pub mod server;
 pub use admission::{Admission, Job, JobTicket, NullSink, Reject, ReplySink, DEFAULT_TENANT};
 pub use client::Client;
 pub use metrics::ServeMetrics;
-pub use proto::{JobSpec, Request, Response, MAX_FRAME};
+pub use proto::{
+    JobSpec, Request, Response, MAX_FRAME, MAX_JOB_ITERATIONS, MAX_JOB_SIZE, MAX_JOB_STALL_US,
+};
 pub use server::{ServeConfig, Server, ServerSummary};

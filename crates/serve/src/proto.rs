@@ -19,6 +19,18 @@ use std::io::{ErrorKind, Read, Write};
 /// without reading the body.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// Largest square image dimension a job may request. Bounds the
+/// daemon-side allocation a client can drive (two `size²` RGBA images):
+/// 4096² is ~134 MB across both buffers.
+pub const MAX_JOB_SIZE: usize = 4096;
+
+/// Largest per-job iteration budget a client may request.
+pub const MAX_JOB_ITERATIONS: u32 = 100_000;
+
+/// Largest synthetic stall a job may request (5 s) — a stall occupies a
+/// runner slot for its full duration.
+pub const MAX_JOB_STALL_US: u64 = 5_000_000;
+
 /// How reading one frame from a connection went.
 #[derive(Debug)]
 pub enum FrameIn {
@@ -100,10 +112,19 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool>
 }
 
 /// Writes one length-prefixed frame.
+///
+/// An oversized payload is an `InvalidData` error with nothing written,
+/// not a panic: the caller loses one response, never the thread that
+/// tried to send it.
 pub fn write_frame(w: &mut impl Write, msg: &Json) -> std::io::Result<()> {
     let body = msg.dump();
     let len = body.len();
-    assert!(len <= MAX_FRAME, "outgoing frame of {len} bytes");
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("outgoing frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
     w.write_all(&(len as u32).to_le_bytes())?;
     w.write_all(body.as_bytes())?;
     w.flush()
@@ -133,6 +154,40 @@ pub struct JobSpec {
     /// overlap across runner slots, which is exactly what the
     /// concurrent-tenant benchmark measures; 0 for pure compute.
     pub stall_us: u64,
+}
+
+impl JobSpec {
+    /// Checks the spec against the daemon's per-job resource limits.
+    /// Called at admission, before any allocation happens on the job's
+    /// behalf — `MAX_FRAME` bounds the wire frame, this bounds what the
+    /// decoded numbers inside it can make the daemon do.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.size == 0 || self.size > MAX_JOB_SIZE {
+            return Err(format!(
+                "size {} out of range (1..={MAX_JOB_SIZE})",
+                self.size
+            ));
+        }
+        if self.tile == 0 || self.tile > self.size {
+            return Err(format!(
+                "tile {} out of range (1..=size {})",
+                self.tile, self.size
+            ));
+        }
+        if self.iterations == 0 || self.iterations > MAX_JOB_ITERATIONS {
+            return Err(format!(
+                "iterations {} out of range (1..={MAX_JOB_ITERATIONS})",
+                self.iterations
+            ));
+        }
+        if self.stall_us > MAX_JOB_STALL_US {
+            return Err(format!(
+                "stall_us {} exceeds the {MAX_JOB_STALL_US} limit",
+                self.stall_us
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for JobSpec {
@@ -478,6 +533,49 @@ mod tests {
             read_frame(&mut Cursor::new(buf)).unwrap(),
             FrameIn::Malformed(m) if m.contains("UTF-8")
         ));
+    }
+
+    #[test]
+    fn oversized_outgoing_frames_error_instead_of_panicking() {
+        let huge = Json::Str("x".repeat(MAX_FRAME + 1));
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &huge).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(buf.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
+    fn job_spec_validation_bounds_resource_use() {
+        assert!(JobSpec::default().validate().is_ok());
+        let cases = [
+            (JobSpec { size: 0, ..JobSpec::default() }, "size"),
+            (JobSpec { size: MAX_JOB_SIZE + 1, ..JobSpec::default() }, "size"),
+            (JobSpec { tile: 0, ..JobSpec::default() }, "tile"),
+            (JobSpec { tile: 65, size: 64, ..JobSpec::default() }, "tile"),
+            (JobSpec { iterations: 0, ..JobSpec::default() }, "iterations"),
+            (
+                JobSpec { iterations: MAX_JOB_ITERATIONS + 1, ..JobSpec::default() },
+                "iterations",
+            ),
+            (
+                JobSpec { stall_us: MAX_JOB_STALL_US + 1, ..JobSpec::default() },
+                "stall_us",
+            ),
+        ];
+        for (spec, needle) in cases {
+            let why = spec.validate().unwrap_err();
+            assert!(why.contains(needle), "expected `{needle}` in `{why}`");
+        }
+        // the largest conforming spec is accepted
+        let max = JobSpec {
+            size: MAX_JOB_SIZE,
+            tile: MAX_JOB_SIZE,
+            iterations: MAX_JOB_ITERATIONS,
+            stall_us: MAX_JOB_STALL_US,
+            ..JobSpec::default()
+        };
+        assert!(max.validate().is_ok());
     }
 
     #[test]

@@ -231,11 +231,21 @@ struct Conn {
 impl Conn {
     /// Sends one response; on a dead peer, cancels the connection's
     /// jobs instead of erroring (the job already ran — nobody is left
-    /// to care).
+    /// to care). An oversized response (`InvalidData`) is the daemon's
+    /// fault, not the peer's: the frame is replaced by a small error
+    /// note so the client is not left waiting on a silently dropped
+    /// terminal frame, and the connection stays usable.
     fn send(&self, resp: &Response) {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        if write_frame(&mut *stream, &resp.to_json()).is_err() {
-            self.ticket.cancel();
+        match write_frame(&mut *stream, &resp.to_json()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let note = Response::Error(format!("response dropped: {e}"));
+                if write_frame(&mut *stream, &note.to_json()).is_err() {
+                    self.ticket.cancel();
+                }
+            }
+            Err(_) => self.ticket.cancel(),
         }
     }
 }

@@ -243,6 +243,34 @@ fn stats_and_remote_shutdown_round_trip() {
 }
 
 #[test]
+fn oversized_job_specs_are_rejected_at_admission() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // a ~40 GB allocation request is refused before any allocation;
+    // retry_after_ms 0 marks it permanent, so even the retrying client
+    // returns it instead of spinning
+    let spec = JobSpec { size: 100_000, ..small_job("greedy") };
+    match client.submit_retrying(&spec).unwrap() {
+        Response::Rejected { reason, retry_after_ms } => {
+            assert!(reason.contains("size"), "got: {reason}");
+            assert_eq!(retry_after_ms, 0, "validation rejections are permanent");
+        }
+        other => panic!("expected rejected, got {}", other.to_json().dump()),
+    }
+
+    // same connection still serves a conforming job
+    match client.submit(&small_job("greedy")).unwrap() {
+        Response::Done { .. } => {}
+        other => panic!("expected done, got {}", other.to_json().dump()),
+    }
+    let summary = server.shutdown();
+    let (admitted, rejected, completed, ..) = summary.totals;
+    assert_eq!((admitted, rejected, completed), (1, 1, 1));
+}
+
+#[test]
 fn unknown_kernel_fails_the_job_not_the_daemon() {
     let server = Server::start(ServeConfig::default()).unwrap();
     let addr = server.addr().to_string();
