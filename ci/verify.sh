@@ -32,6 +32,30 @@ if ! cargo run -q --offline -p ezp-lint -- --format=json > ci/lint-report.json; 
     echo "       rules + suppression syntax: docs/static-analysis.md)." >&2
     exit 1
 fi
+# The version-2 report carries per-pass finding counts and wall-times;
+# echo them into the log and fail the lane if the whole lint run blew
+# its 5-second budget — a cross-file pass regressing into quadratic
+# behaviour on workspace growth should be a CI failure, not slow creep.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - ci/lint-report.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for p in doc["passes"]:
+    print(f"verify: lint pass {p['name']}: {p['findings']} finding(s) "
+          f"in {p['wall_ms']:.1f} ms")
+total = doc["total_ms"]
+if total > 5000:
+    sys.exit(f"verify: lint run took {total:.0f} ms, over the 5000 ms budget")
+print(f"verify: lint lane within budget ({total:.0f} ms of 5000 ms)")
+EOF
+else
+    # Fallback: the three passes must be present in the report; no
+    # budget arithmetic without python3.
+    for pass_name in atomics-pairing guard-leak counter-registry; do
+        grep -q "\"name\": *\"$pass_name\"" ci/lint-report.json
+    done
+    echo "verify: lint passes present in report (grep fallback, no budget check)"
+fi
 echo "verify: ezp-lint clean"
 
 # --workspace matters: the root package alone does not pull in the

@@ -112,6 +112,8 @@ struct MpmcShared<T> {
     /// senders (SeqCst: senders' wait conditions read it).
     rx_count: AtomicUsize,
     /// Rotating start lane for receivers, for fairness across lanes.
+    /// counter-only: the value is the entire payload — a stale read
+    /// just shifts which lane a receiver polls first.
     next_lane: AtomicUsize,
     hub: WaitHub,
     stats: ChanCounters,

@@ -9,8 +9,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live counters of one channel. All updates are `Relaxed`: these are
-/// statistics only — no other memory is published through them.
+/// Live counters of one channel. All updates are `Relaxed` and every
+/// field is counter-only: these are statistics — no other memory is
+/// published through them.
 #[derive(Debug, Default)]
 pub(crate) struct ChanCounters {
     pub(crate) sends: AtomicU64,

@@ -58,6 +58,9 @@ impl Level {
 
 /// 255 = "not initialized yet": the first query reads `EZP_LOG`.
 const UNINIT: u8 = 255;
+// counter-only: the byte is the entire payload; racing initializers
+// compute the same value from the same environment, so a lost store
+// is harmless.
 static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
 
 /// The current level, initializing from `EZP_LOG` on first use.

@@ -62,6 +62,11 @@ pub struct ShadowRace {
 pub struct ShadowGrid {
     width: usize,
     height: usize,
+    // Both atomics are synchronizing via the spine, not locally
+    // (via-the-spine): conflicting tag accesses are ordered by the
+    // scheduler's region synchronization, and `begin_epoch` runs in
+    // the single-threaded gap between regions; `Relaxed` only keeps
+    // torn writes impossible so a true race stays a *detected* race.
     epoch: AtomicU32,
     tags: Vec<AtomicU64>,
 }

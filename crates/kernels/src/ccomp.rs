@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 /// Label buffer: one `u32` label per pixel, 0 = transparent background.
 /// Atomic so that wavefront tasks can share it; the task dependencies
 /// (plus the scheduler's synchronization) order all conflicting
-/// accesses.
+/// accesses — synchronizing via the spine (via-the-spine), so the
+/// cells themselves stay `Relaxed`.
 pub struct Labels {
     dim: usize,
     cells: Vec<AtomicU32>,

@@ -22,6 +22,9 @@ pub struct BitBoard {
     width: usize,
     height: usize,
     words_per_row: usize,
+    /// Cell storage. Tiles own disjoint rows within an iteration and
+    /// cross-iteration ordering rides the scheduler's region barrier —
+    /// synchronizing via the spine (via-the-spine), hence `Relaxed`.
     words: Vec<AtomicU64>,
 }
 

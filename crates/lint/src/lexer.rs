@@ -274,6 +274,154 @@ pub fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
+/// Is `tag` present in a trailing comment on `line` or in a comment
+/// within `window` *code* lines above it? Comment and blank lines do
+/// not consume the window — a long justification paragraph must not
+/// push itself out of range — but more than `window` unrelated code
+/// lines between comment and site means the comment is justifying
+/// something else. Shared by the per-line rules (`SAFETY:` /
+/// `ORDERING:`) and the cross-file passes (taxonomy tags on atomic
+/// field declarations).
+pub fn justified(lines: &[Line], line: usize, tag: &str, window: usize) -> bool {
+    if lines[line].comment.contains(tag) {
+        return true;
+    }
+    let mut code_seen = 0usize;
+    let mut i = line;
+    while i > 0 && code_seen <= window {
+        i -= 1;
+        let l = &lines[i];
+        if l.comment.contains(tag) {
+            return true;
+        }
+        if !l.code.trim().is_empty() {
+            code_seen += 1;
+        }
+    }
+    false
+}
+
+/// The struct field (or static) an atomic method call is invoked on.
+///
+/// `dot` is the char position of the `.` introducing the method
+/// (`self.lanes[slot].depth.fetch_add(…)` → pass the `.` before
+/// `fetch_add`, get `"depth"`). The walk runs right-to-left over the
+/// receiver chain, skipping index/call groups and numeric tuple
+/// projections (`self.tail.0.store` → `"tail"`), and stops at the first
+/// named component. Returns `None` when the receiver is a call result
+/// (`factory().load(…)`) or the chain starts on a previous line with
+/// nothing before the dot.
+pub fn receiver_field(code: &str, dot: usize) -> Option<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = dot; // exclusive end of the component before the dot
+    loop {
+        // skip whitespace between tokens
+        while i > 0 && chars[i - 1].is_whitespace() {
+            i -= 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        // skip a trailing index group; a call group means the component
+        // is a call result we cannot attribute to a field
+        if chars[i - 1] == ']' {
+            let mut depth = 0i32;
+            while i > 0 {
+                i -= 1;
+                match chars[i] {
+                    ']' => depth += 1,
+                    '[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if depth != 0 {
+                return None; // group opens on an earlier line
+            }
+            continue;
+        }
+        if chars[i - 1] == ')' {
+            return None;
+        }
+        // read one identifier backwards
+        let end = i;
+        while i > 0 && is_ident_char(chars[i - 1]) {
+            i -= 1;
+        }
+        if i == end {
+            return None;
+        }
+        let comp: String = chars[i..end].iter().collect();
+        if comp.chars().all(|c| c.is_ascii_digit()) {
+            // numeric tuple projection (`.0`): attribute to the field
+            // it projects out of, one component further left
+            if i > 0 && chars[i - 1] == '.' {
+                i -= 1;
+                continue;
+            }
+            return None;
+        }
+        return Some(comp);
+    }
+}
+
+/// Atomic-ordering names (`Ordering::X`) appearing in the argument list
+/// that opens at or after `from` on `lines[line].code` and runs to its
+/// matching close paren, spanning up to `max_span` following lines.
+/// Used to classify atomic access sites; an access whose call spans
+/// further than `max_span` lines is treated as having no orderings
+/// (and is ignored by the passes — conservative in the quiet
+/// direction).
+pub fn call_orderings(lines: &[Line], line: usize, from: usize, max_span: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (k, l) in lines.iter().enumerate().skip(line).take(max_span + 1) {
+        let code = &l.code;
+        let start = if k == line { from } else { 0 };
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = start;
+        while i < chars.len() {
+            match chars[i] {
+                '(' => {
+                    depth += 1;
+                    opened = true;
+                }
+                ')' => {
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            i += 1;
+            if opened && depth == 0 {
+                break;
+            }
+        }
+        // collect Ordering::X inside the scanned span of this line
+        let span: String = chars[start..i.min(chars.len())].iter().collect();
+        let mut pos = 0;
+        while let Some(p) = find_word(&span, "Ordering", pos) {
+            pos = p + "Ordering".len();
+            let rest: String = span.chars().skip(pos).collect();
+            if let Some(tail) = rest.strip_prefix("::") {
+                let ident: String = tail.chars().take_while(|c| c.is_alphanumeric()).collect();
+                if !ident.is_empty() {
+                    out.push(ident);
+                }
+            }
+        }
+        if opened && depth == 0 {
+            return out;
+        }
+    }
+    // never closed within the window: unknown orderings
+    Vec::new()
+}
+
 /// Does `code` contain `word` as a standalone token (not a substring of
 /// a longer identifier)?
 pub fn has_word(code: &str, word: &str) -> bool {
@@ -475,6 +623,47 @@ fn after() { y(); }
     fn suppressions_parse_multiple_rules() {
         let lines = lex_file("x(); // ezp-lint: allow(rule-a, rule-b)\n");
         assert_eq!(lines[0].allows, vec!["rule-a", "rule-b"]);
+    }
+
+    #[test]
+    fn receiver_field_walks_chains_indexes_and_tuples() {
+        let probe = |code: &str| {
+            let dot = code.rfind(".f").unwrap();
+            receiver_field(code, dot)
+        };
+        assert_eq!(probe("self.depth.fetch_add"), Some("depth".into()));
+        assert_eq!(probe("self.lanes[slot].depth.fetch_add"), Some("depth".into()));
+        assert_eq!(probe("self.tail.0 .fetch_add"), Some("tail".into()));
+        assert_eq!(probe("slots[i & mask].fetch_add"), Some("slots".into()));
+        assert_eq!(probe("factory().fetch_add"), None);
+        assert_eq!(probe(".fetch_add"), None);
+        // lone tuple index with nothing to project out of
+        assert_eq!(probe("0.fetch_add"), None);
+    }
+
+    #[test]
+    fn call_orderings_spans_multiline_calls() {
+        let lines = lex_file(
+            "x.compare_exchange(\n    false,\n    true,\n    Ordering::Acquire,\n    Ordering::Relaxed,\n); y.load(Ordering::SeqCst);\n",
+        );
+        let from = lines[0].code.find('(').unwrap();
+        assert_eq!(call_orderings(&lines, 0, from, 6), vec!["Acquire", "Relaxed"]);
+        // the second call on the closing line is outside the first span
+        let from2 = lines[5].code.rfind('(').unwrap();
+        assert_eq!(call_orderings(&lines, 5, from2, 6), vec!["SeqCst"]);
+    }
+
+    #[test]
+    fn call_orderings_gives_up_past_the_span_cap() {
+        let lines = lex_file("x.store(\n\n\n\n\n\n\n    1, Ordering::Release);\n");
+        assert!(call_orderings(&lines, 0, lines[0].code.find('(').unwrap(), 3).is_empty());
+    }
+
+    #[test]
+    fn justified_sees_trailing_and_nearby_comments() {
+        let lines = lex_file("// ORDERING: counter only\nlet a = 1;\nx.load(r);\n");
+        assert!(justified(&lines, 2, "ORDERING:", 8));
+        assert!(!justified(&lines, 2, "ORDERING:", 0));
     }
 
     #[test]

@@ -23,16 +23,37 @@
 //! * **cfg-feature-exists** — every `#[cfg(feature = "…")]` names a
 //!   declared feature.
 //!
+//! On top of the per-line rules, the engine is **two-phase**: phase 1
+//! walks the workspace once, running the line rules while building a
+//! cross-file symbol model ([`model`] — atomic fields and their access
+//! orderings, guard types and `Drop` impls, guard-returning APIs,
+//! registered counter names, `RuntimeEvent` variants, and the
+//! observability docs' counter table); phase 2 runs three cross-file
+//! [`passes`] over that model:
+//!
+//! * **atomics-pairing** — every `Release` write pairs with an acquire
+//!   side somewhere in its crate; Relaxed-only fields carry a taxonomy
+//!   tag; unjustified Relaxed/Acquire mixes are flagged;
+//! * **guard-leak** — `*Guard`/`*Lease`/`*Ticket`/`*Handle` types
+//!   `impl Drop`, and guard-returning APIs are never called for a
+//!   discarded result (`let _ = lease()` drops the lease on the spot);
+//! * **counter-registry** — registered counter names, the
+//!   observability docs table and `RuntimeEvent` handling in the perf
+//!   probe stay mutually in sync.
+//!
 //! The analyzer is a lightweight lexer (no `syn`): [`lexer`] classifies
 //! every character as code / comment / literal and tracks `#[cfg(test)]`
 //! regions by brace depth; [`rules`] pattern-match on the classified
 //! token stream. False positives are silenced per line with a comment
 //! marker — the tool name, a colon, then `allow(<rule>)` — and a
-//! suppression naming an unknown rule is itself reported. See `docs/static-analysis.md` for the full
+//! suppression naming an unknown rule is itself reported. Cross-file
+//! findings may also be suppressed at the declaration that anchors
+//! them. See `docs/static-analysis.md` for the full
 //! rule catalogue and how this complements ezp-check.
 //!
 //! Run it with `cargo run -p ezp-lint` (add `-- --format=json` for the
-//! CI report); it exits nonzero when any diagnostic survives.
+//! CI report, `--only <rule>` for one rule, `--rules` for the
+//! catalogue); it exits nonzero when any diagnostic survives.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -41,8 +62,10 @@
 pub mod diag;
 pub mod lexer;
 pub mod manifest;
+pub mod model;
+pub mod passes;
 pub mod rules;
 pub mod workspace;
 
 pub use diag::{render, Diagnostic, Format};
-pub use workspace::{lint_files, lint_workspace, Report};
+pub use workspace::{lint_files, lint_workspace, lint_workspace_only, Report};

@@ -3,7 +3,8 @@
 
 #![deny(unsafe_code)]
 
-use ezp_lint::{lint_workspace, render, Format};
+use ezp_lint::workspace::lint_workspace_only;
+use ezp_lint::{render, Format};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -11,14 +12,18 @@ const USAGE: &str = "\
 ezp-lint — static analysis for the EASYPAP workspace
 
 USAGE:
-    ezp-lint [--root <dir>] [--format=text|json] [--list-rules]
+    ezp-lint [--root <dir>] [--format=text|json] [--only <rule>]
+             [--rules | --list-rules]
 
 OPTIONS:
     --root <dir>       Workspace root to lint (default: nearest ancestor
                        of the current directory containing a [workspace]
                        manifest, else the current directory)
     --format=<fmt>     Output format: text (default) or json
-    --list-rules       Print the rule names and exit
+    --only <rule>      Run a single rule or pass (fast local iteration)
+    --rules            Print the full catalogue — name, severity, kind,
+                       one-line description — and exit
+    --list-rules       Print just the rule/pass names and exit
 
 EXIT STATUS:
     0  no diagnostics
@@ -27,11 +32,15 @@ EXIT STATUS:
 
 Suppress a finding on one line (or the line below the comment) with:
     // ezp-lint: allow(<rule-name>)
+Cross-file pass findings may also be suppressed at the declaration that
+anchors them (the atomic field, guard type, acquiring fn, counter
+registration or enum variant).
 ";
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,13 +49,35 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--list-rules" => {
-                for r in ezp_lint::rules::RULE_NAMES {
-                    println!("{r}");
+                for r in ezp_lint::rules::RULES {
+                    println!("{}", r.name);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rules" => {
+                for r in ezp_lint::rules::RULES {
+                    println!("{:<30} {:<5} {:<5} {}", r.name, r.severity, r.kind, r.desc);
                 }
                 return ExitCode::SUCCESS;
             }
             "--format=text" => format = Format::Text,
             "--format=json" => format = Format::Json,
+            "--only" => match args.next() {
+                Some(name) => {
+                    if !ezp_lint::rules::is_known_rule(&name) {
+                        eprintln!(
+                            "ezp-lint: --only {name:?} names no known rule or pass; \
+                             run --rules for the catalogue"
+                        );
+                        return ExitCode::from(2);
+                    }
+                    only = Some(name);
+                }
+                None => {
+                    eprintln!("ezp-lint: --only needs a rule name argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -66,8 +97,8 @@ fn main() -> ExitCode {
         eprintln!("ezp-lint: root {} is not a directory", root.display());
         return ExitCode::from(2);
     }
-    let report = lint_workspace(&root);
-    print!("{}", render(&report.diagnostics, report.files_scanned, format));
+    let report = lint_workspace_only(&root, only.as_deref());
+    print!("{}", render(&report, format));
     if report.diagnostics.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,264 @@
+//! **guard-leak** — RAII guards must exist and must be held.
+//!
+//! Pool sharing (PR 9's `PoolMux`) hangs its correctness on RAII: a
+//! `PoolLease` returned by `lease()` re-parks the pool when dropped,
+//! so a lease that drops *immediately* — `let _ = mux.lease()` or a
+//! bare `mux.lease();` statement — silently serializes every tenant
+//! with no error anywhere. The borrow checker cannot catch it; this
+//! pass does, in two halves:
+//!
+//! 1. **Guard without Drop** — a type named `*Guard` / `*Lease` /
+//!    `*Ticket` / `*Handle` with no `impl Drop` in the model. Either
+//!    the release logic is missing, or the type is deliberately not
+//!    RAII (a shared token, say) and the declaration should carry a
+//!    suppression explaining that.
+//! 2. **Discarded acquisition** — a call to a guard-returning API
+//!    (any `fn` whose declared return type mentions a guard type)
+//!    whose result is bound to `_` or discarded as an expression
+//!    statement. Trailing `.unwrap()` / `.expect(…)` / `.ok()` do not
+//!    rescue the guard — the temporary still drops at the semicolon.
+//!
+//! What it cannot see: multi-line `fn` signatures (the return type is
+//! not on the `fn` line), guards returned through type aliases or
+//! `impl Trait`, and discards split across lines. All misses are in
+//! the quiet direction.
+//!
+//! Suppression: `ezp-lint: allow(guard-leak)` at the reported site, at
+//! the guard type's declaration, or at the acquiring API's `fn` line.
+
+use crate::diag::Diagnostic;
+use crate::lexer;
+use crate::model::Model;
+
+const RULE: &str = "guard-leak";
+
+/// Statement-leading keywords that mean the call result flows onward
+/// (returned, matched, yielded from a loop) rather than being dropped.
+const FLOW_KEYWORDS: &[&str] = &["return", "break", "yield", "else", "match", "in"];
+
+/// Runs the pass over the finished model.
+pub fn check(model: &Model) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // 1. guard-named types without Drop
+    for g in &model.guard_types {
+        if !model.drop_impls.contains(&g.name) && !model.is_allowed(&g.site, RULE) {
+            out.push(Diagnostic {
+                rule: RULE,
+                path: g.site.path.clone(),
+                line: g.site.line,
+                message: format!(
+                    "type `{}` is named like an RAII guard but has no `impl Drop`; \
+                     implement Drop to release the resource, or — if the type is \
+                     deliberately not RAII — suppress here with a comment saying what \
+                     owns the release instead",
+                    g.name
+                ),
+            });
+        }
+    }
+
+    // 2. discarded acquisitions
+    if model.guard_apis.is_empty() {
+        return out;
+    }
+    for (path, _krate, lines) in model.files() {
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for api in &model.guard_apis {
+                let mut from = 0;
+                while let Some(p) = lexer::find_word(&line.code, &api.name, from) {
+                    from = p + api.name.chars().count();
+                    // the declaration itself is not a call site
+                    if lexer::has_word(&line.code, "fn") {
+                        continue;
+                    }
+                    let Some(reason) = discarded(&line.code, p, api.name.chars().count())
+                    else {
+                        continue;
+                    };
+                    let site = crate::model::Site { path: path.to_string(), line: i + 1 };
+                    let anchors_allowed = model.is_allowed(&site, RULE)
+                        || model.is_allowed(&api.site, RULE)
+                        || model
+                            .guard_types
+                            .iter()
+                            .any(|g| g.name == api.guard && model.is_allowed(&g.site, RULE));
+                    if !anchors_allowed {
+                        out.push(Diagnostic {
+                            rule: RULE,
+                            path: site.path,
+                            line: site.line,
+                            message: format!(
+                                "result of guard-returning `{}()` is {reason}; the `{}` \
+                                 drops immediately instead of covering a scope — bind it \
+                                 to a named variable (`let _{} = …`)",
+                                api.name,
+                                api.guard,
+                                api.guard.to_lowercase()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decides whether the call to a guard-returning API starting at char
+/// `p` (name length `len`) discards its result. Returns the reason
+/// string for the diagnostic, or `None` when the result is (or may be)
+/// used. Conservative: anything this single-line analysis cannot prove
+/// discarded is treated as used.
+fn discarded(code: &str, p: usize, len: usize) -> Option<&'static str> {
+    let chars: Vec<char> = code.chars().collect();
+    // must be a call: `name(`
+    if chars.get(p + len) != Some(&'(') {
+        return None;
+    }
+    // statement prefix: from the last `;` / `{` / `}` before the name
+    let mut s = p;
+    while s > 0 && !matches!(chars[s - 1], ';' | '{' | '}') {
+        s -= 1;
+    }
+    let prefix: String = chars[s..p].iter().collect();
+    let prefix = prefix.trim();
+
+    // `let _ = receiver.chain.api(…)` — `_` exactly, not `_named`
+    let (discard_kind, chain) = if let Some(rest) = prefix.strip_prefix("let") {
+        let rest = rest.trim_start();
+        let mut it = rest.chars();
+        if it.next() != Some('_') || it.clone().next().is_some_and(lexer::is_ident_char) {
+            return None; // named (or `_named`) binding: held
+        }
+        let after: &str = rest[1..].trim_start();
+        let Some(chain) = after.strip_prefix('=') else {
+            return None;
+        };
+        ("bound to `_`", chain.trim())
+    } else {
+        ("discarded as a statement", prefix)
+    };
+
+    // the text between binding (or statement start) and the call must
+    // be a bare receiver chain — any operator, paren or keyword means
+    // the value flows somewhere we cannot track
+    let chain_ok = chain
+        .chars()
+        .all(|c| lexer::is_ident_char(c) || c == '.' || c == ':' || c.is_whitespace());
+    if !chain_ok || FLOW_KEYWORDS.iter().any(|k| lexer::has_word(chain, k)) {
+        return None;
+    }
+
+    // scan past the call's argument list; give up on multi-line calls
+    let mut i = p + len;
+    let mut depth = 0i32;
+    while i < chars.len() {
+        match chars[i] {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if depth != 0 {
+        return None;
+    }
+    // strip result adapters that do not keep the guard alive
+    let mut rest: String = chars[i..].iter().collect();
+    loop {
+        let t = rest.trim_start();
+        let stripped = t
+            .strip_prefix(".unwrap()")
+            .or_else(|| t.strip_prefix(".ok()"))
+            .or_else(|| {
+                t.strip_prefix(".expect(").and_then(|after| {
+                    after.find(')').map(|close| &after[close + 1..])
+                })
+            });
+        match stripped {
+            Some(next) => rest = next.to_string(),
+            None => break,
+        }
+    }
+    if rest.trim() == ";" {
+        Some(discard_kind)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_file;
+
+    fn model_of(src: &str) -> Model {
+        let mut m = Model::new();
+        m.add_source("crates/x/src/lib.rs", "x", &lex_file(src));
+        m.finish();
+        m
+    }
+
+    const PRELUDE: &str = "\
+pub struct PoolLease { id: usize }
+impl Drop for PoolLease { fn drop(&mut self) {} }
+impl Mux { pub fn lease(&self) -> PoolLease { todo!() } }
+";
+
+    fn leaks_in(stmt: &str) -> usize {
+        let src = format!("{PRELUDE}fn caller(mux: &Mux) {{\n    {stmt}\n}}\n");
+        check(&model_of(&src)).len()
+    }
+
+    #[test]
+    fn guard_type_without_drop_fires_at_the_declaration() {
+        let m = model_of("pub struct JobTicket { live: bool }\n");
+        let d = check(&m);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("impl Drop"));
+        let ok = model_of("pub struct G2Guard;\nimpl Drop for G2Guard { fn drop(&mut self) {} }\n");
+        assert!(check(&ok).is_empty());
+    }
+
+    #[test]
+    fn underscore_binding_and_bare_statement_are_leaks() {
+        assert_eq!(leaks_in("let _ = mux.lease();"), 1);
+        assert_eq!(leaks_in("mux.lease();"), 1);
+        assert_eq!(leaks_in("mux.lease().unwrap();"), 1);
+        assert_eq!(leaks_in("let _ = mux.lease().expect(\"pool\");"), 1);
+    }
+
+    #[test]
+    fn named_bindings_and_flowing_results_are_held() {
+        assert_eq!(leaks_in("let _lease = mux.lease();"), 0);
+        assert_eq!(leaks_in("let lease = mux.lease();"), 0);
+        assert_eq!(leaks_in("return mux.lease();"), 0);
+        assert_eq!(leaks_in("let id = mux.lease().id;"), 0);
+        assert_eq!(leaks_in("take(mux.lease());"), 0);
+        assert_eq!(leaks_in("if let Some(l) = mux.try_get() { use_it(l); }"), 0);
+    }
+
+    #[test]
+    fn suppression_at_call_api_or_type_decl_silences() {
+        let at_site = format!(
+            "{PRELUDE}fn caller(mux: &Mux) {{\n    // ezp-lint: allow(guard-leak)\n    mux.lease();\n}}\n"
+        );
+        assert!(check(&model_of(&at_site)).is_empty());
+        let at_type = "\
+// ezp-lint: allow(guard-leak)
+pub struct ShareTicket { live: bool }
+";
+        assert!(check(&model_of(at_type)).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! **counter-registry** — the observability surface stays closed.
+//!
+//! The paper's pedagogy leans on the counters: a student who cannot
+//! see `steals` or `idle_ns{cause=…}` cannot form the mental model the
+//! monitoring view teaches. Three sets must therefore stay equal:
+//!
+//! 1. **registered → documented**: every counter name registered on a
+//!    `CounterSet` (directly, or via the canonical constants in
+//!    ezp-perf's `mod names`) has a row in the observability docs'
+//!    counter table. An undocumented counter is invisible pedagogy.
+//! 2. **documented → registered**: every row in that table names a
+//!    registered counter. A stale row teaches a counter that no
+//!    longer exists. (Kernel-reported values that are *not* registry
+//!    counters — the per-rank MPI numbers — live in a separately
+//!    headed table the model deliberately does not read.)
+//! 3. **declared → handled**: every `RuntimeEvent` variant is matched
+//!    as `RuntimeEvent::X` somewhere in ezp-perf. A variant the probe
+//!    never matches is an event the runtime emits into silence —
+//!    exactly the drift that made `ShadowRace` invisible once.
+//!
+//! Each direction only runs when its target set is non-empty, so a
+//! fixture corpus (or a fresh workspace) without a registry does not
+//! drown in findings.
+//!
+//! Suppression: `ezp-lint: allow(counter-registry)` at the
+//! registration site or the variant declaration. Docs-side rows cannot
+//! carry Rust comments; a stale-row finding is fixed in the docs, not
+//! suppressed.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::model::Model;
+
+const RULE: &str = "counter-registry";
+
+/// Runs the pass over the finished model.
+pub fn check(model: &Model) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let registered: BTreeSet<&str> =
+        model.counter_decls.iter().map(|c| c.name.as_str()).collect();
+    let documented: BTreeSet<&str> =
+        model.doc_counters.iter().map(|c| c.name.as_str()).collect();
+
+    // 1. registered → documented (needs a docs table to compare against)
+    if model.docs_path.is_some() && !documented.is_empty() {
+        let mut seen = BTreeSet::new();
+        for c in &model.counter_decls {
+            if !seen.insert(c.name.as_str()) {
+                continue; // report each name once, at its first site
+            }
+            if !documented.contains(c.name.as_str()) && !model.is_allowed(&c.site, RULE) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: c.site.path.clone(),
+                    line: c.site.line,
+                    message: format!(
+                        "counter `{}` is registered in code but has no row in the {} \
+                         counter table; document it (or suppress here if it is \
+                         deliberately internal)",
+                        c.name,
+                        model.docs_path.as_deref().unwrap_or("observability docs")
+                    ),
+                });
+            }
+        }
+    }
+
+    // 2. documented → registered
+    if !registered.is_empty() {
+        let mut seen = BTreeSet::new();
+        for d in &model.doc_counters {
+            if !seen.insert(d.name.as_str()) {
+                continue;
+            }
+            if !registered.contains(d.name.as_str()) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: d.site.path.clone(),
+                    line: d.site.line,
+                    message: format!(
+                        "counter `{}` is documented here but never registered on a \
+                         CounterSet; delete the stale row or register the counter",
+                        d.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // 3. declared → handled
+    if !model.events_handled.is_empty() {
+        for v in &model.event_variants {
+            if !model.events_handled.contains(&v.name) && !model.is_allowed(&v.site, RULE) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: v.site.path.clone(),
+                    line: v.site.line,
+                    message: format!(
+                        "RuntimeEvent::{} is never matched in ezp-perf; the runtime \
+                         emits it into silence — handle it in the perf probe (or \
+                         suppress here with a comment saying why it is \
+                         perf-invisible)",
+                        v.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_file;
+
+    const PERF: &str = "\
+pub mod names {
+    pub const STEALS: &str = \"steals\";
+}
+impl Probe {
+    fn on(&self, ev: RuntimeEvent) {
+        match ev {
+            RuntimeEvent::Steals { n } => {}
+        }
+    }
+}
+";
+
+    const CORE: &str = "\
+pub enum RuntimeEvent {
+    Steals { n: u64 },
+    PoolSync,
+}
+";
+
+    fn model_of(perf: &str, core: &str, docs: &str) -> Model {
+        let mut m = Model::new();
+        m.add_source("crates/perf/src/probe.rs", "ezp-perf", &lex_file(perf));
+        m.add_source("crates/core/src/kernel.rs", "ezp-core", &lex_file(core));
+        if !docs.is_empty() {
+            m.add_docs("docs/observability.md", docs);
+        }
+        m.finish();
+        m
+    }
+
+    #[test]
+    fn undocumented_registered_counter_fires() {
+        let docs = "| counter | by |\n|---|---|\n| `other` | x |\n";
+        let d = check(&model_of(PERF, "", docs));
+        assert!(d.iter().any(|d| d.message.contains("`steals`") && d.message.contains("no row")));
+    }
+
+    #[test]
+    fn stale_docs_row_fires_at_the_docs_line() {
+        let docs = "| counter | by |\n|---|---|\n| `steals` | x |\n| `ghost` | y |\n";
+        let d = check(&model_of(PERF, "", docs));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, "docs/observability.md");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("`ghost`"));
+    }
+
+    #[test]
+    fn unhandled_runtime_event_variant_fires_at_its_declaration() {
+        let docs = "| counter | by |\n|---|---|\n| `steals` | x |\n";
+        let d = check(&model_of(PERF, CORE, docs));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("RuntimeEvent::PoolSync"));
+        assert_eq!(d[0].path, "crates/core/src/kernel.rs");
+    }
+
+    #[test]
+    fn in_sync_registry_is_quiet_and_empty_sets_do_not_cross_fire() {
+        let docs = "| counter | by |\n|---|---|\n| `steals` | x |\n";
+        let perf_handles_all = PERF.replace(
+            "RuntimeEvent::Steals { n } => {}",
+            "RuntimeEvent::Steals { n } => {}\n            RuntimeEvent::PoolSync => {}",
+        );
+        assert!(check(&model_of(&perf_handles_all, CORE, docs)).is_empty());
+        // no docs file at all: both counter directions stay quiet
+        assert!(check(&model_of(PERF, CORE.replace("PoolSync,", "").as_str(), "")).is_empty());
+    }
+
+    #[test]
+    fn suppression_at_variant_decl_silences() {
+        let core = "\
+pub enum RuntimeEvent {
+    Steals { n: u64 },
+    // ezp-lint: allow(counter-registry)
+    PoolSync,
+}
+";
+        let docs = "| counter | by |\n|---|---|\n| `steals` | x |\n";
+        assert!(check(&model_of(PERF, core, docs)).is_empty());
+    }
+}

@@ -14,7 +14,9 @@ use crate::manifest::Manifest;
 /// justifying something else.
 pub const JUSTIFICATION_WINDOW: usize = 8;
 
-/// Names of all shipped rules, in reporting order.
+/// Names of the per-line rules, in reporting order. (The cross-file
+/// pass names live in [`crate::passes::PASS_NAMES`]; [`RULES`] is the
+/// full catalogue.)
 pub const RULE_NAMES: &[&str] = &[
     "unsafe-needs-safety",
     "ordering-needs-justification",
@@ -23,6 +25,96 @@ pub const RULE_NAMES: &[&str] = &[
     "hermeticity",
     "cfg-feature-exists",
 ];
+
+/// One catalogue entry for `ezp-lint --rules`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule or pass name, as used in diagnostics and `allow(…)`.
+    pub name: &'static str,
+    /// Severity: every shipped rule is `deny` (any finding fails the
+    /// run with exit 1); the field exists so a future `warn` tier does
+    /// not need a format change.
+    pub severity: &'static str,
+    /// `line` (per-line rule), `pass` (cross-file pass) or `meta`
+    /// (about the lint markers themselves).
+    pub kind: &'static str,
+    /// One-line description for `--rules`.
+    pub desc: &'static str,
+}
+
+/// The full rule/pass catalogue, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "unsafe-needs-safety",
+        severity: "deny",
+        kind: "line",
+        desc: "every unsafe site carries a SAFETY: comment stating the invariant",
+    },
+    RuleInfo {
+        name: "ordering-needs-justification",
+        severity: "deny",
+        kind: "line",
+        desc: "non-SeqCst atomic orderings in sched/chan carry an ORDERING: comment",
+    },
+    RuleInfo {
+        name: "no-lock-in-hot-path",
+        severity: "deny",
+        kind: "line",
+        desc: "Mutex/RwLock/Condvar stay out of the de-contended scheduler files",
+    },
+    RuleInfo {
+        name: "determinism",
+        severity: "deny",
+        kind: "line",
+        desc: "no wall clock or OS entropy in ezp-check-replayed modules",
+    },
+    RuleInfo {
+        name: "hermeticity",
+        severity: "deny",
+        kind: "line",
+        desc: "no registry dependencies in manifests, no foreign extern crate",
+    },
+    RuleInfo {
+        name: "cfg-feature-exists",
+        severity: "deny",
+        kind: "line",
+        desc: "every cfg(feature = \"…\") names a feature the crate declares",
+    },
+    RuleInfo {
+        name: "atomics-pairing",
+        severity: "deny",
+        kind: "pass",
+        desc: "Release writes pair with an acquire side; Relaxed-only fields carry a taxonomy tag",
+    },
+    RuleInfo {
+        name: "guard-leak",
+        severity: "deny",
+        kind: "pass",
+        desc: "guard/lease/ticket types impl Drop; acquired guards are bound, never discarded",
+    },
+    RuleInfo {
+        name: "counter-registry",
+        severity: "deny",
+        kind: "pass",
+        desc: "registered counters, the observability docs table and RuntimeEvent handling stay in sync",
+    },
+    RuleInfo {
+        name: "unknown-suppression",
+        severity: "deny",
+        kind: "meta",
+        desc: "allow(…) markers name a real rule or pass",
+    },
+];
+
+/// Is `name` a shipped rule, pass, or the suppression meta-rule?
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// Every name `allow(…)` / `--only` may legitimately use.
+pub fn known_rule_names() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.name).collect()
+}
 
 /// File names of the scheduler hot path, where blocking primitives are
 /// banned (PR 4 removed them; this rule keeps them out). `park.rs` is

@@ -1,17 +1,25 @@
 //! Workspace discovery and the lint engine driver.
 //!
-//! [`lint_workspace`] walks a directory tree, collects every `.rs` file
-//! and `Cargo.toml` (skipping `target/`, VCS metadata and the
-//! intentionally-bad `lint_fixtures/` corpora), resolves each source
-//! file to its owning manifest, runs the rules, and filters the
-//! findings through per-line suppressions.
+//! [`lint_workspace`] walks a directory tree, collects every `.rs` file,
+//! `Cargo.toml` and observability docs file (skipping `target/`, VCS
+//! metadata and the intentionally-bad `lint_fixtures/` corpora), then
+//! runs the two-phase engine: **phase 1** lexes each source once,
+//! running the per-line rules *and* feeding the same lexed lines into
+//! the [`crate::model::Model`]; **phase 2** runs the cross-file
+//! [`crate::passes`] over the finished model. Per-line findings are
+//! filtered through suppressions here; pass findings resolve their own
+//! suppressions (they may be anchored at a declaration site far from
+//! the finding).
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex_file, Line};
 use crate::manifest::{self, Manifest};
-use crate::rules::{self, SourceFile, RULE_NAMES};
+use crate::model::Model;
+use crate::passes::{self, PassStat};
+use crate::rules::{self, SourceFile};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "lint_fixtures", "node_modules"];
@@ -21,23 +29,43 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "lint_fixtures", "node_modules"];
 pub struct Report {
     /// Findings that survived suppression, in file/line order.
     pub diagnostics: Vec<Diagnostic>,
-    /// Number of files (sources + manifests) scanned.
+    /// Number of files (sources + manifests + docs) scanned.
     pub files_scanned: usize,
+    /// Per-pass finding counts and wall-times (cross-file passes only).
+    pub pass_stats: Vec<PassStat>,
+    /// Wall time of the whole run in milliseconds.
+    pub total_ms: f64,
 }
 
-/// Lints every source file and manifest under `root`.
+/// Lints every source file, manifest and docs table under `root`.
 pub fn lint_workspace(root: &Path) -> Report {
+    lint_workspace_only(root, None)
+}
+
+/// [`lint_workspace`], restricted to the single rule or pass named by
+/// `only` when it is `Some` (the CLI's `--only` flag).
+pub fn lint_workspace_only(root: &Path, only: Option<&str>) -> Report {
     let mut sources = Vec::new();
     let mut manifests = Vec::new();
-    walk(root, root, &mut sources, &mut manifests);
-    lint_files(root, &sources, &manifests)
+    let mut docs = Vec::new();
+    walk(root, &mut sources, &mut manifests, &mut docs);
+    lint_files(root, &sources, &manifests, &docs, only)
 }
 
-/// Lints an explicit file set (fixture tests use this to point the
-/// engine at a corpus directory). `root` anchors relative paths and the
-/// nearest-manifest search.
-pub fn lint_files(root: &Path, sources: &[PathBuf], manifests: &[PathBuf]) -> Report {
+/// Runs the engine over an explicit file set (fixture tests use this to
+/// point it at a corpus directory). `root` anchors relative paths and
+/// the nearest-manifest search; `docs` lists observability docs files
+/// for the counter-registry pass.
+pub fn lint_files(
+    root: &Path,
+    sources: &[PathBuf],
+    manifests: &[PathBuf],
+    docs: &[PathBuf],
+    only: Option<&str>,
+) -> Report {
+    let t0 = Instant::now();
     let mut report = Report::default();
+    let line_rule = |name: &str| only.is_none_or(|o| o == name);
 
     // Parse every manifest once; key by owning directory.
     let mut by_dir: BTreeMap<PathBuf, Manifest> = BTreeMap::new();
@@ -46,7 +74,9 @@ pub fn lint_files(root: &Path, sources: &[PathBuf], manifests: &[PathBuf]) -> Re
             continue;
         };
         let m = manifest::parse(&text);
-        rules::check_manifest(&rel_path(root, mpath), &m, &mut report.diagnostics);
+        if line_rule("hermeticity") {
+            rules::check_manifest(&rel_path(root, mpath), &m, &mut report.diagnostics);
+        }
         report.files_scanned += 1;
         if let Some(dir) = mpath.parent() {
             by_dir.insert(dir.to_path_buf(), m);
@@ -60,16 +90,20 @@ pub fn lint_files(root: &Path, sources: &[PathBuf], manifests: &[PathBuf]) -> Re
         .map(|n| n.replace('-', "_"))
         .collect();
 
+    let mut model = Model::new();
     for spath in sources {
         let Ok(text) = std::fs::read_to_string(spath) else {
             continue;
         };
         report.files_scanned += 1;
         let lines = lex_file(&text);
-        let features = nearest_manifest(&by_dir, root, spath)
-            .map(|m| m.known_features())
-            .unwrap_or_default();
+        let owning = nearest_manifest(&by_dir, root, spath);
+        let features = owning.map(|m| m.known_features()).unwrap_or_default();
         let rel = rel_path(root, spath);
+        let krate = owning
+            .and_then(|m| m.package_name.clone())
+            .unwrap_or_default();
+        model.add_source(&rel, &krate, &lines);
         let file = SourceFile {
             rel: &rel,
             lines: &lines,
@@ -78,32 +112,57 @@ pub fn lint_files(root: &Path, sources: &[PathBuf], manifests: &[PathBuf]) -> Re
         };
         let mut found = Vec::new();
         rules::check_source(&file, &mut found);
-        report
-            .diagnostics
-            .extend(found.into_iter().filter(|d| !suppressed(&lines, d)));
+        report.diagnostics.extend(
+            found
+                .into_iter()
+                .filter(|d| line_rule(d.rule) && !suppressed(&lines, d)),
+        );
         // Validate the suppressions themselves: an `allow(...)` naming
         // an unknown rule silently does nothing — exactly how a typo
         // would disarm a real suppression — so it is itself a finding.
-        for (i, line) in lines.iter().enumerate() {
-            for a in &line.allows {
-                if !RULE_NAMES.contains(&a.as_str()) {
-                    report.diagnostics.push(Diagnostic {
-                        rule: "unknown-suppression",
-                        path: rel.clone(),
-                        line: i + 1,
-                        message: format!(
-                            "allow({a}) names no known rule; valid rules: {}",
-                            RULE_NAMES.join(", ")
-                        ),
-                    });
+        if line_rule("unknown-suppression") {
+            for (i, line) in lines.iter().enumerate() {
+                for a in &line.allows {
+                    if !rules::is_known_rule(a) {
+                        report.diagnostics.push(Diagnostic {
+                            rule: "unknown-suppression",
+                            path: rel.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "allow({a}) names no known rule or pass; valid names: {}",
+                                rules::known_rule_names().join(", ")
+                            ),
+                        });
+                    }
                 }
             }
+        }
+    }
+
+    // Phase 2: the cross-file passes over the finished model.
+    for dpath in docs {
+        let Ok(text) = std::fs::read_to_string(dpath) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        model.add_docs(&rel_path(root, dpath), &text);
+    }
+    model.finish();
+    match only {
+        Some(o) if !passes::PASS_NAMES.contains(&o) => {
+            // a line rule was requested: run no passes
+        }
+        _ => {
+            let (diags, stats) = passes::run(&model, only);
+            report.diagnostics.extend(diags);
+            report.pass_stats = stats;
         }
     }
 
     report.diagnostics.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
     });
+    report.total_ms = t0.elapsed().as_secs_f64() * 1000.0;
     report
 }
 
@@ -148,8 +207,14 @@ fn rel_path(root: &Path, p: &Path) -> String {
         .join("/")
 }
 
-/// Recursively collects `.rs` sources and `Cargo.toml` manifests.
-fn walk(root: &Path, dir: &Path, sources: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) {
+/// Recursively collects `.rs` sources, `Cargo.toml` manifests and
+/// observability docs files.
+fn walk(
+    dir: &Path,
+    sources: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+    docs: &mut Vec<PathBuf>,
+) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -164,11 +229,13 @@ fn walk(root: &Path, dir: &Path, sources: &mut Vec<PathBuf>, manifests: &mut Vec
             if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
                 continue;
             }
-            walk(root, &path, sources, manifests);
+            walk(&path, sources, manifests, docs);
         } else if name == "Cargo.toml" {
             manifests.push(path);
         } else if name.ends_with(".rs") {
             sources.push(path);
+        } else if name == "observability.md" {
+            docs.push(path);
         }
     }
 }

@@ -4,14 +4,17 @@
 //! workspace walker deliberately skips so the intentionally-bad files
 //! never fail the self-clean run.
 
-use ezp_lint::{lint_workspace, Report};
+use ezp_lint::{lint_workspace, lint_workspace_only, Report};
 use std::path::PathBuf;
 
-fn fixture(case: &str) -> Report {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+fn fixture_dir(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/lint_fixtures")
-        .join(case);
-    lint_workspace(&dir)
+        .join(case)
+}
+
+fn fixture(case: &str) -> Report {
+    lint_workspace(&fixture_dir(case))
 }
 
 /// Asserts the `bad/` side of `case` fires `rule` at least once and
@@ -109,4 +112,103 @@ fn reports_count_scanned_files() {
     let report = fixture("hermeticity/bad");
     // one Cargo.toml + one .rs
     assert_eq!(report.files_scanned, 2);
+}
+
+// ---- cross-file pass corpora (PR 10) ---------------------------------
+
+#[test]
+fn atomics_pairing_pass_pair() {
+    assert_pair("atomics_pairing", "atomics-pairing");
+    // one finding per seeded defect: unpaired release (at the store),
+    // untagged relaxed-only field (at the decl), unjustified mix (at
+    // the relaxed read)
+    let bad = fixture("atomics_pairing/bad");
+    assert_eq!(bad.diagnostics.len(), 3);
+    assert!(bad.diagnostics.iter().any(|d| d.message.contains("`flag`")));
+    assert!(bad.diagnostics.iter().any(|d| d.message.contains("`hits`")));
+    assert!(bad.diagnostics.iter().any(|d| d.message.contains("`seq`")));
+}
+
+#[test]
+fn guard_leak_pass_pair() {
+    assert_pair("guard_leak", "guard-leak");
+    let bad = fixture("guard_leak/bad");
+    // missing Drop on ShareTicket + two discarded lease() calls
+    assert_eq!(bad.diagnostics.len(), 3);
+    assert!(bad
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("ShareTicket") && d.message.contains("impl Drop")));
+    assert_eq!(
+        bad.diagnostics
+            .iter()
+            .filter(|d| d.message.contains("lease()"))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn counter_registry_pass_pair() {
+    assert_pair("counter_registry", "counter-registry");
+    let bad = fixture("counter_registry/bad");
+    // undocumented registration + stale docs row + unhandled variant
+    assert_eq!(bad.diagnostics.len(), 3);
+    assert!(bad
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("`orphan_counter`") && d.message.contains("no row")));
+    assert!(bad
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("`stale_counter`") && d.path.ends_with("observability.md")));
+    assert!(bad
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("RuntimeEvent::PoolSync")));
+}
+
+#[test]
+fn pass_suppressions_anchor_at_declarations() {
+    // The corpus reproduces the atomics_pairing and guard_leak defects
+    // with `allow(<pass>)` markers at the *declaration* sites; a clean
+    // run proves decl-anchored suppression covers every access site
+    // and that pass names validate as known suppressions.
+    let r = fixture("suppression/pass_allowed");
+    assert!(
+        r.diagnostics.is_empty(),
+        "decl-anchored pass suppression did not hold:\n{}",
+        r.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn only_filter_restricts_to_one_pass() {
+    let dir = fixture_dir("atomics_pairing/bad");
+    let hit = lint_workspace_only(&dir, Some("atomics-pairing"));
+    assert_eq!(hit.diagnostics.len(), 3);
+    assert_eq!(hit.pass_stats.len(), 1);
+    assert_eq!(hit.pass_stats[0].name, "atomics-pairing");
+    // a different pass sees nothing in this corpus
+    let miss = lint_workspace_only(&dir, Some("guard-leak"));
+    assert!(miss.diagnostics.is_empty());
+    // a line rule runs no passes at all
+    let line = lint_workspace_only(&dir, Some("unsafe-needs-safety"));
+    assert!(line.diagnostics.is_empty());
+    assert!(line.pass_stats.is_empty());
+}
+
+#[test]
+fn pass_reports_carry_stats() {
+    let r = fixture("counter_registry/bad");
+    assert_eq!(r.pass_stats.len(), 3);
+    let by_name: Vec<(&str, usize)> =
+        r.pass_stats.iter().map(|s| (s.name, s.findings)).collect();
+    assert!(by_name.contains(&("counter-registry", 3)));
+    assert!(by_name.contains(&("atomics-pairing", 0)));
+    assert!(r.total_ms >= 0.0);
 }

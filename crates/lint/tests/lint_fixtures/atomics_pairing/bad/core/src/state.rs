@@ -1,0 +1,31 @@
+//! Intentionally broken atomics for the atomics-pairing corpus: an
+//! unpaired Release store, an untagged Relaxed-only field, and an
+//! unjustified Relaxed read of a field carrying acquire/release edges.
+
+pub struct State {
+    flag: AtomicBool,
+    hits: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl State {
+    pub fn publish(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn record(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn bump(&self) {
+        self.seq.store(1, Ordering::Release);
+    }
+
+    pub fn wait(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    pub fn peek(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}

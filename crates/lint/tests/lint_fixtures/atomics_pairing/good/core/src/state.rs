@@ -1,0 +1,38 @@
+//! The repaired twin of `atomics_pairing/bad`: the Release store is
+//! paired, the statistics field is tagged, and the relaxed fast-path
+//! read carries an ORDERING: argument.
+
+pub struct State {
+    flag: AtomicBool,
+    // counter-only: statistics; no other memory is published through it
+    hits: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl State {
+    pub fn publish(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn observe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    pub fn record(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn bump(&self) {
+        self.seq.store(1, Ordering::Release);
+    }
+
+    pub fn wait(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    pub fn peek(&self) -> u64 {
+        // ORDERING: own-counter fast path — the caller only compares
+        // against its previous read, so a stale value is harmless.
+        self.seq.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,17 @@
+//! Intentionally drifted registry for the counter-registry corpus:
+//! `orphan_counter` is declared but undocumented, the docs table keeps
+//! a `stale_counter` row nothing registers, and `RuntimeEvent::PoolSync`
+//! is declared in core but never matched here.
+
+pub mod names {
+    pub const STEALS: &str = "steals";
+    pub const ORPHAN: &str = "orphan_counter";
+}
+
+impl Probe {
+    fn on(&self, ev: RuntimeEvent, worker: usize) {
+        match ev {
+            RuntimeEvent::Steals { n } => self.add(worker, n),
+        }
+    }
+}

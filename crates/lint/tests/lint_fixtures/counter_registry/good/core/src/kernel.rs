@@ -1,0 +1,6 @@
+//! Event declarations for the counter-registry good corpus.
+
+pub enum RuntimeEvent {
+    Steals { n: u64 },
+    PoolSync,
+}

@@ -1,0 +1,17 @@
+//! The in-sync twin of `counter_registry/bad`: every declared counter
+//! is documented, every documented counter is declared, and every
+//! `RuntimeEvent` variant is matched.
+
+pub mod names {
+    pub const STEALS: &str = "steals";
+    pub const PARKS: &str = "pool_parks";
+}
+
+impl Probe {
+    fn on(&self, ev: RuntimeEvent, worker: usize) {
+        match ev {
+            RuntimeEvent::Steals { n } => self.add(worker, n),
+            RuntimeEvent::PoolSync => self.incr(worker),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Intentionally leaky guards for the guard-leak corpus: a
+//! guard-suffixed type with no Drop impl, and two call sites that
+//! discard the lease a guard-returning API hands back.
+
+pub struct ShareTicket {
+    live: bool,
+}
+
+pub struct PoolLease {
+    id: usize,
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        release_slot(self.id);
+    }
+}
+
+impl PoolMux {
+    pub fn lease(&self) -> PoolLease {
+        PoolLease { id: 0 }
+    }
+}
+
+pub fn caller(mux: &PoolMux) {
+    let _ = mux.lease();
+    mux.lease();
+}

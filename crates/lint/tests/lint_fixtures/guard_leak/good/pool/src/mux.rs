@@ -1,0 +1,39 @@
+//! The repaired twin of `guard_leak/bad`: every guard type implements
+//! Drop and every acquisition is bound to a named variable that holds
+//! the guard for a scope.
+
+pub struct ShareTicket {
+    live: bool,
+}
+
+impl Drop for ShareTicket {
+    fn drop(&mut self) {
+        self.live = false;
+    }
+}
+
+pub struct PoolLease {
+    id: usize,
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        release_slot(self.id);
+    }
+}
+
+impl PoolMux {
+    pub fn lease(&self) -> PoolLease {
+        PoolLease { id: 0 }
+    }
+}
+
+pub fn caller(mux: &PoolMux) {
+    let lease = mux.lease();
+    run_region(&lease);
+    let _held = mux.lease();
+}
+
+pub fn pass_through(mux: &PoolMux) -> PoolLease {
+    return mux.lease();
+}

@@ -26,6 +26,8 @@ use std::sync::Mutex;
 #[repr(align(128))]
 struct WorkerSlot {
     /// Timestamp of the currently open tile (`u64::MAX` when none).
+    /// counter-only: the timestamp is the entire payload; the monitor
+    /// thread tolerates reading one frame stale.
     open_start: AtomicU64,
     /// This worker's event lane. Only this worker sends; unbounded, so
     /// a send never blocks the tile hot path.

@@ -39,6 +39,9 @@ fn bucket_of(v: u64) -> usize {
 #[repr(align(128))]
 pub struct LogHistogram {
     name: &'static str,
+    // Every cell below is counter-only: the tallies are the entire
+    // payload, snapshots tolerate mid-record skew, and no other
+    // memory is published through them — hence `Relaxed` throughout.
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,

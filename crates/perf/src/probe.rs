@@ -162,6 +162,8 @@ pub struct PerfProbe {
     chan_full_stalls: CounterId,
     chan_empty_stalls: CounterId,
     /// Start timestamp of the iteration currently in flight.
+    /// counter-only: the timestamp is the entire payload and only the
+    /// iteration-bracketing thread writes it.
     iter_start: AtomicU64,
     /// Per-worker start timestamp of the tile currently in flight.
     /// Each slot is padded to its own cache line: every tile bracket

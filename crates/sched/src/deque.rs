@@ -50,7 +50,10 @@ pub struct TaskDeque {
     /// Thief end. Advanced by CAS (thieves and the owner's last-element
     /// pop race here).
     top: AtomicIsize,
-    /// Power-of-two ring of task-id slots.
+    /// Power-of-two ring of task-id slots. Slot contents are
+    /// synchronizing via the spine, not locally (via-the-spine): the
+    /// `top`/`bottom` Acquire/SeqCst protocol publishes each slot
+    /// before a thief may read it, so the cells stay `Relaxed`.
     buf: Box<[AtomicUsize]>,
     mask: usize,
 }

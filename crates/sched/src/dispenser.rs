@@ -98,7 +98,9 @@ pub struct StaticBlock {
     n: usize,
     threads: usize,
     /// Per-rank "already taken" flags (an atomic cursor would also do,
-    /// but one flag per rank keeps `next` wait-free).
+    /// but one flag per rank keeps `next` wait-free). counter-only: the
+    /// flag is the entire payload; block bounds come from immutable
+    /// fields.
     taken: Vec<AtomicUsize>,
 }
 
@@ -150,7 +152,8 @@ pub struct StaticCyclic {
     n: usize,
     threads: usize,
     k: usize,
-    /// Per-rank next chunk index.
+    /// Per-rank next chunk index. counter-only: each slot is
+    /// rank-private and the index is the entire payload.
     cursor: Vec<AtomicUsize>,
 }
 
@@ -193,6 +196,8 @@ impl Dispenser for StaticCyclic {
 pub struct DynamicChunks {
     n: usize,
     k: usize,
+    /// counter-only: the monotone cursor is the entire payload; chunk
+    /// ownership comes from the fetch_add's atomicity alone.
     cursor: AtomicUsize,
 }
 
@@ -231,6 +236,8 @@ pub struct GuidedChunks {
     n: usize,
     threads: usize,
     k: usize,
+    /// counter-only: the monotone cursor is the entire payload; chunk
+    /// ownership comes from the CAS's atomicity alone.
     cursor: AtomicUsize,
 }
 
@@ -340,7 +347,9 @@ impl RangeWord {
 
 /// A rank-private stolen interval, drained front-first by its owner.
 /// Single-writer by the rank-serial protocol; atomics only so that a
-/// protocol violation stays a logic error.
+/// protocol violation stays a logic error. Both fields are
+/// synchronizing via the spine, not locally (via-the-spine): the
+/// rank-serial protocol orders every access, so `Relaxed` suffices.
 #[repr(align(128))]
 #[derive(Default)]
 struct Remainder {
@@ -349,7 +358,8 @@ struct Remainder {
 }
 
 /// Padded per-rank steal counters (owner-writes-only, like the monitor's
-/// worker slots).
+/// worker slots). Both fields are counter-only: statistics whose value
+/// is the entire payload.
 #[repr(align(128))]
 #[derive(Default)]
 struct StealSlot {

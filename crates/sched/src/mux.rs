@@ -67,6 +67,8 @@ pub struct PoolMux {
     returned: Condvar,
     slots: usize,
     workers: usize,
+    // counter-only statistics: the tallies are the entire payload and
+    // the stats snapshot tolerates mid-update skew.
     stat_leases: AtomicU64,
     stat_waits: AtomicU64,
     stat_wait_ns: AtomicU64,

@@ -111,6 +111,8 @@ struct PoolState {
     idle: ParkLot,
     /// `run` waits here for region completion.
     done: ParkLot,
+    // The three stat fields are counter-only: cumulative tallies whose
+    // value is the entire payload.
     /// Cumulative parks across all threads and regions.
     stat_parks: AtomicU64,
     /// Cumulative spin iterations across all threads and regions.

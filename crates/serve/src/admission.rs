@@ -62,7 +62,11 @@ impl ReplySink for NullSink {
 /// Shared cancellation state between a connection and the runner
 /// executing its job: when the client disconnects, the reader flips
 /// `live` and the runner drops the job instead of computing for nobody.
+/// Deliberately not RAII: both sides hold an `Arc`, and "release" is
+/// the runner *observing* `live == false`, not a scope ending — so no
+/// `Drop` impl, and call sites may clone it freely.
 #[derive(Default)]
+// ezp-lint: allow(guard-leak)
 pub struct JobTicket {
     live: AtomicBool,
 }
@@ -96,8 +100,8 @@ pub struct Reject {
 struct Lane {
     tx: Box<dyn ChanSender<Job>>,
     rx: Box<dyn ChanReceiver<Job>>,
-    /// Current queue depth (telemetry; admission is bounded by the
-    /// channel itself).
+    /// Current queue depth. counter-only telemetry: admission is
+    /// bounded by the channel itself, so a stale depth misleads no one.
     depth: AtomicU64,
 }
 
@@ -117,6 +121,8 @@ pub struct Admission {
     /// job reaches a terminal state.
     gate: Mutex<()>,
     park: ParkLot,
+    /// counter-only: the monotone id is the entire payload; uniqueness
+    /// comes from the fetch_add's atomicity alone.
     next_job_id: AtomicU64,
     queue_cap: usize,
 }
